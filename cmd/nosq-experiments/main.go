@@ -1,0 +1,78 @@
+// Command nosq-experiments regenerates the paper's evaluation: Table 5 and
+// Figures 2-5. Each experiment prints a text table whose rows correspond to
+// the paper's rows/bars.
+//
+// Examples:
+//
+//	nosq-experiments -exp table5
+//	nosq-experiments -exp fig2 -iters 400
+//	nosq-experiments -exp all -benchmarks gzip,mesa.o,applu -iters 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table5, fig2, fig3, fig4, fig5cap, fig5hist, all")
+		iters    = flag.Int("iters", 0, "workload iterations per benchmark (0 = default)")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: experiment's own set)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Iterations: *iters, Parallelism: *parallel}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	type runner struct {
+		name string
+		fn   func(experiments.Options) (*stats.Table, error)
+	}
+	wrap2 := func(f func(experiments.Options) (*stats.Table, []experiments.RelTimeRow, error)) func(experiments.Options) (*stats.Table, error) {
+		return func(o experiments.Options) (*stats.Table, error) { t, _, err := f(o); return t, err }
+	}
+	runners := []runner{
+		{"table5", func(o experiments.Options) (*stats.Table, error) { t, _, err := experiments.Table5(o); return t, err }},
+		{"fig2", wrap2(experiments.Figure2)},
+		{"fig3", wrap2(experiments.Figure3)},
+		{"fig4", func(o experiments.Options) (*stats.Table, error) { t, _, err := experiments.Figure4(o); return t, err }},
+		{"fig5cap", func(o experiments.Options) (*stats.Table, error) {
+			t, _, err := experiments.Figure5Capacity(o)
+			return t, err
+		}},
+		{"fig5hist", func(o experiments.Options) (*stats.Table, error) {
+			t, _, err := experiments.Figure5History(o)
+			return t, err
+		}},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		tbl, err := r.fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

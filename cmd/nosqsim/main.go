@@ -1,0 +1,68 @@
+// Command nosqsim runs one synthetic benchmark on one (or every) machine
+// configuration and prints the resulting statistics.
+//
+// Examples:
+//
+//	nosqsim -bench gzip -config nosq-delay
+//	nosqsim -bench mesa.o -all -window 256 -iters 600
+//	nosqsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gzip", "benchmark name (see -list)")
+		config  = flag.String("config", core.NoSQDelay.String(), "machine configuration")
+		all     = flag.Bool("all", false, "run every configuration")
+		window  = flag.Int("window", 128, "instruction window (ROB) size")
+		iters   = flag.Int("iters", 0, "workload iterations (0 = default)")
+		maxInst = flag.Uint64("max-insts", 0, "stop after N committed instructions (0 = unbounded)")
+		list    = flag.Bool("list", false, "list benchmarks and configurations, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks:")
+		for _, b := range core.Benchmarks() {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println("Configurations:")
+		for _, k := range core.Kinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+
+	kinds := core.Kinds()
+	if !*all {
+		k, err := core.KindByName(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		kinds = []core.ConfigKind{k}
+	}
+
+	opts := core.Options{WindowSize: *window, Iterations: *iters, MaxInsts: *maxInst}
+	tbl := stats.NewTable(fmt.Sprintf("%s (window %d)", *bench, *window),
+		"config", "cycles", "IPC", "comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
+	for _, k := range kinds {
+		run, err := core.Simulate(*bench, k, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", k, err)
+			os.Exit(1)
+		}
+		tbl.AddRow(k.String(), run.Cycles, run.IPC(), run.PctInWindowComm(),
+			run.BypassedLoads, run.DelayedLoads, run.MispredictsPer10kLoads(),
+			run.Flushes, run.TotalDCacheReads(), run.Reexecutions)
+	}
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "NoSQ: Store-Load
+// Communication without a Store Queue" (Sha, Martin, Roth; MICRO-39, 2006).
+//
+// The library lives under internal/: the SimISA functional emulator and its
+// oracle memory-dependence annotation, the cycle-level out-of-order timing
+// model with both the conventional (associative store queue) and NoSQ
+// organisations, the NoSQ mechanisms themselves (distance-based store-load
+// bypassing prediction, speculative memory bypassing, SVW-filtered in-order
+// load re-execution), the synthetic SPEC2000/MediaBench stand-in workloads,
+// and the experiment harness that regenerates Table 5 and Figures 2-5 of the
+// paper. See README.md for a tour and DESIGN.md for the system inventory.
+//
+// This root package holds the repository-level benchmark harness
+// (bench_test.go): one benchmark per table/figure plus ablation and
+// microarchitecture-component benchmarks.
+package repro

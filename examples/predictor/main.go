@@ -1,0 +1,122 @@
+// Predictor: use the NoSQ building blocks directly, without the timing
+// simulator. The example runs the functional emulator over a synthetic
+// workload, drives the distance-based bypassing predictor with the oracle
+// dependences of every dynamic load, and measures (a) the predictor's
+// accuracy and (b) how many re-executions the tagged SVW filter (T-SSBF)
+// would screen out.
+//
+// This mirrors how the decode-stage predictor and the commit-stage filter are
+// used inside the full NoSQ pipeline, but at trace level, so it is a good
+// starting point for experimenting with new predictor organisations.
+//
+// Run with:
+//
+//	go run ./examples/predictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bypass"
+	"repro/internal/emu"
+	"repro/internal/svw"
+	"repro/internal/workload"
+)
+
+func main() {
+	prog, err := workload.Generate("vortex", workload.Options{Iterations: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := emu.New(prog)
+	machine.MaxInsts = 2_000_000
+
+	predictor := bypass.New(bypass.DefaultConfig())
+	filter := svw.NewTSSBF(128, 4)
+	var hist bypass.PathHistory
+
+	var loads, communicating, correct, mispredicted, filtered uint64
+
+	for {
+		d, err := machine.Step()
+		if err != nil {
+			break
+		}
+		st := d.Static
+		switch {
+		case st.IsCondBranch():
+			hist = hist.PushBranch(d.Taken)
+		case st.IsCall():
+			hist = hist.PushCall(st.PC)
+		case d.IsStore():
+			filter.StoreCommit(d.EffAddr, d.StoreSSN, d.MemSize)
+		case d.IsLoad():
+			loads++
+			pred := predictor.Predict(st.PC, hist.Value())
+			dist, hasDep := d.Distance()
+			if hasDep {
+				communicating++
+			}
+			// A prediction is correct when it names exactly the communicating
+			// store (distance and shift), or correctly predicts "no bypass".
+			predictedDist, predictedBypass := pred.Distance, pred.Hit && !pred.NoBypass
+			ok := false
+			switch {
+			case !predictedBypass && !hasDep:
+				ok = true
+			case predictedBypass && hasDep && predictedDist == dist &&
+				pred.Shift == d.Dep.Shift && !d.Dep.MultiSource:
+				ok = true
+			}
+			if ok {
+				correct++
+				predictor.Reward(st.PC, hist.Value())
+			} else {
+				mispredicted++
+				out := bypass.Outcome{}
+				if hasDep {
+					out = bypass.Outcome{
+						Bypassable: !d.Dep.MultiSource,
+						Distance:   dist,
+						Shift:      d.Dep.Shift,
+						StoreSize:  d.Dep.StoreSize,
+					}
+				}
+				predictor.Train(st.PC, hist.Value(), out, pred.FromPathTable)
+			}
+			// Commit-time SVW filter test: would this load have re-executed?
+			var reexec bool
+			if predictedBypass && hasDep {
+				reexec = filter.TestBypassed(d.EffAddr, d.MemSize, d.Dep.SSN, pred.Shift)
+			} else {
+				reexec = filter.TestNonBypassed(d.EffAddr, d.Dep.SSN)
+			}
+			if !reexec {
+				filtered++
+			}
+		}
+		if machine.Halted() {
+			break
+		}
+	}
+
+	fmt.Printf("dynamic loads:              %d\n", loads)
+	fmt.Printf("loads with dependences:     %d (%.1f%%)\n", communicating, pct(communicating, loads))
+	fmt.Printf("predictions correct:        %d (%.2f%%)\n", correct, pct(correct, loads))
+	fmt.Printf("mis-predictions per 10k:    %.1f\n", 10000*float64(mispredicted)/float64(loads))
+	fmt.Printf("re-executions filtered:     %d (%.1f%% of loads skip the cache at commit)\n", filtered, pct(filtered, loads))
+	s := predictor.Stats()
+	fmt.Printf("predictor: %d lookups, %d hits, %d path-table hits, %d trainings\n",
+		s.Lookups, s.Hits, s.PathHits, s.Trainings)
+	c := filter.Counters()
+	fmt.Printf("T-SSBF: %d store updates, %d load tests, re-execution rate %.2f%%\n",
+		c.StoreUpdates, c.LoadTests, 100*c.ReexecRate())
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

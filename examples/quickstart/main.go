@@ -1,0 +1,77 @@
+// Quickstart: build a small program with the program builder, run it under
+// the conventional baseline and under NoSQ, and compare the results.
+//
+// The program is a toy "struct field update" loop: each iteration stores two
+// fields of a record and immediately re-loads them — exactly the in-window
+// store-load communication NoSQ turns into register communication.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/stats"
+)
+
+func buildProgram(iterations int64) *program.Program {
+	b := program.NewBuilder("quickstart")
+	cnt := isa.IntReg(1) // loop counter
+	rec := isa.IntReg(2) // record base address
+	x, y := isa.IntReg(3), isa.IntReg(4)
+	sum := isa.IntReg(5)
+
+	b.MovImm(cnt, iterations).
+		MovImm(rec, int64(program.DataBase)).
+		MovImm(x, 7).
+		MovImm(sum, 0).
+		Label("loop").
+		// Update two fields of the record...
+		AddImm(x, x, 3).
+		Store(x, rec, 0, 8).
+		Store(x, rec, 8, 4).
+		// ...then read them right back (a DEF-store-load-USE chain).
+		Load(y, rec, 0, 8).
+		Add(sum, sum, y).
+		Load(y, rec, 8, 4).
+		Add(sum, sum, y).
+		AddImm(cnt, cnt, -1).
+		Branch(isa.BrNEZ, cnt, "loop").
+		Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	prog := buildProgram(2000)
+
+	configs := []core.ConfigKind{core.Baseline, core.NoSQNoDelay, core.NoSQDelay}
+	tbl := stats.NewTable("quickstart: store-load communication, baseline vs NoSQ",
+		"config", "cycles", "IPC", "loads bypassed", "SQ forwards", "D$ reads", "mispred/10k")
+	var baseline stats.Run
+	for i, kind := range configs {
+		run, err := core.SimulateProgram(prog, core.ConfigFor(kind, 128))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = run
+		}
+		tbl.AddRow(kind.String(), run.Cycles, run.IPC(), run.BypassedLoads,
+			run.SQForwards, run.TotalDCacheReads(), run.MispredictsPer10kLoads())
+		if i > 0 {
+			fmt.Printf("%-14s relative execution time vs baseline: %.3f\n",
+				kind, stats.RelativeExecutionTime(run, baseline))
+		}
+	}
+	fmt.Println()
+	fmt.Print(tbl.String())
+	fmt.Println("\nNote how NoSQ performs no store-queue forwarding at all (SQ forwards = 0):")
+	fmt.Println("every communicating load is bypassed through the register file, and most")
+	fmt.Println("bypassed loads also skip the data cache entirely.")
+}

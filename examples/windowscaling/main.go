@@ -1,0 +1,51 @@
+// Windowscaling: a miniature Figure 3 / Section 4.4 study. Compares NoSQ
+// against the conventional baseline at 128- and 256-entry instruction
+// windows. Following the paper, all window resources scale with the window
+// and the branch predictor is quadrupled, but the 2K-entry bypassing
+// predictor is left unchanged — which is why NoSQ's advantage shrinks on the
+// larger machine.
+//
+// Run with:
+//
+//	go run ./examples/windowscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	benchmarks := []string{"gs.d", "gzip", "eon.k", "sixtrack"}
+	windows := []int{128, 256}
+
+	tbl := stats.NewTable("NoSQ (delay) execution time relative to the ideal baseline, by window size",
+		"benchmark", "window 128", "window 256", "mispred/10k @128", "mispred/10k @256")
+
+	for _, bench := range benchmarks {
+		row := []interface{}{bench}
+		var mis []interface{}
+		for _, w := range windows {
+			opts := core.Options{WindowSize: w, Iterations: 150}
+			ideal, err := core.Simulate(bench, core.IdealBaseline, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nosq, err := core.Simulate(bench, core.NoSQDelay, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, stats.RelativeExecutionTime(nosq, ideal))
+			mis = append(mis, nosq.MispredictsPer10kLoads())
+		}
+		row = append(row, mis...)
+		tbl.AddRow(row...)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nExpected shape (paper, Section 4.4): the larger window exposes more")
+	fmt.Println("communication and more difficult patterns, so bypassing mis-predictions rise")
+	fmt.Println("and NoSQ's average advantage over the baseline shrinks (from ~2% to ~1%).")
+}

@@ -1,0 +1,224 @@
+// Package cache implements set-associative caches with LRU replacement and a
+// simple TLB, used for the L1 instruction cache, L1 data cache, unified L2
+// and the instruction/data TLBs of the simulated machine.
+//
+// The caches model hit/miss behaviour and maintain hit/miss statistics; the
+// timing model translates misses into latency using its memory-hierarchy
+// configuration. Write policy is write-back/write-allocate, which is all the
+// timing model needs (writeback traffic is counted but not timed separately).
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// Name identifies the cache in statistics output.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	// lastUse is the access counter value of the most recent touch (LRU).
+	lastUse uint64
+}
+
+// Stats holds access counters for a cache.
+type Stats struct {
+	// Accesses is the total number of lookups (reads + writes).
+	Accesses uint64
+	// Misses is the number of lookups that missed.
+	Misses uint64
+	// Writebacks is the number of dirty lines evicted.
+	Writebacks uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 when there were no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	lineBits uint
+	setMask  uint64
+	counter  uint64
+	stats    Stats
+}
+
+// New creates a cache from the configuration; it panics on an invalid
+// configuration (configurations are static machine descriptions).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: log2(uint64(cfg.LineBytes)),
+		setMask:  uint64(numSets - 1),
+	}
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.lineBits
+	return blk & c.setMask, blk >> log2(uint64(len(c.sets)))
+}
+
+// Access performs a lookup for addr. write marks the line dirty on a store.
+// It returns true on a hit. On a miss the line is allocated (evicting the LRU
+// way, counting a writeback if it was dirty).
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.counter++
+	c.stats.Accesses++
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.counter
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{valid: true, dirty: write, tag: tag, lastUse: c.counter}
+	return false
+}
+
+// Probe reports whether addr currently hits, without changing any state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	setIdx, tag := c.index(addr)
+	for _, l := range c.sets[setIdx] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing addr if present.
+func (c *Cache) Invalidate(addr uint64) {
+	setIdx, tag := c.index(addr)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i] = line{}
+			return
+		}
+	}
+}
+
+// Reset clears all contents and statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.counter = 0
+	c.stats = Stats{}
+}
+
+// TLB is a small fully-set-associative translation lookaside buffer modelled
+// as a page-granularity cache. Translation itself is identity (the emulator
+// uses flat addresses); the TLB exists to model translation hit/miss costs.
+type TLB struct {
+	cache *Cache
+	// PageBytes is the page size used for indexing.
+	PageBytes int
+}
+
+// NewTLB builds a TLB with the given number of entries and associativity over
+// 4KB pages.
+func NewTLB(name string, entries, assoc int) *TLB {
+	const page = 4096
+	return &TLB{
+		cache: New(Config{
+			Name:      name,
+			SizeBytes: entries * page / 1, // one "line" per page entry
+			LineBytes: page,
+			Assoc:     assoc,
+		}),
+		PageBytes: page,
+	}
+}
+
+// Access looks up the page containing addr, returning true on a TLB hit.
+func (t *TLB) Access(addr uint64) bool { return t.cache.Access(addr, false) }
+
+// Stats returns the TLB's counters.
+func (t *TLB) Stats() Stats { return t.cache.Stats() }
+
+// Reset clears the TLB.
+func (t *TLB) Reset() { t.cache.Reset() }

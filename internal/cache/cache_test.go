@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B
+	return New(Config{Name: "test", SizeBytes: 512, LineBytes: 64, Assoc: 2})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Name: "l1", SizeBytes: 64 * 1024, LineBytes: 64, Assoc: 2},
+		{Name: "l2", SizeBytes: 1024 * 1024, LineBytes: 64, Assoc: 8},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config rejected: %v", err)
+		}
+	}
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, LineBytes: 64, Assoc: 2},
+		{Name: "nonpow2line", SizeBytes: 512, LineBytes: 48, Assoc: 2},
+		{Name: "indivisible", SizeBytes: 500, LineBytes: 64, Assoc: 2},
+		{Name: "nonpow2sets", SizeBytes: 64 * 3, LineBytes: 64, Assoc: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 100, LineBytes: 64, Assoc: 2})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x1000, false) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1030, false) {
+		t.Error("same-line access should hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := small() // 2-way, 4 sets, 64B lines: set stride is 256B
+	a := uint64(0x0000)
+	b := uint64(0x0100) // wait, 0x100 = 256 -> same... compute: set = (addr>>6) & 3
+	// Pick three addresses mapping to set 0 with distinct tags:
+	a = 0 << 8          // block 0, set 0
+	b = 1 << 8          // block 4, set 0
+	d := uint64(2 << 8) // block 8, set 0
+	c.Access(a, false)  // miss, installs a
+	c.Access(b, false)  // miss, installs b
+	c.Access(a, false)  // hit, a is MRU
+	c.Access(d, false)  // miss, evicts b (LRU)
+	if !c.Probe(a) {
+		t.Error("a should still be cached")
+	}
+	if c.Probe(b) {
+		t.Error("b should have been evicted")
+	}
+	if !c.Probe(d) {
+		t.Error("d should be cached")
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := small()
+	a, b, d := uint64(0<<8), uint64(1<<8), uint64(2<<8)
+	c.Access(a, true) // dirty
+	c.Access(b, false)
+	c.Access(d, false) // evicts a (LRU, dirty)
+	if got := c.Stats().Writebacks; got != 1 {
+		t.Errorf("writebacks = %d, want 1", got)
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	before := c.Stats()
+	c.Probe(0x40)
+	c.Probe(0x123456)
+	if c.Stats() != before {
+		t.Error("Probe changed statistics")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x40, false)
+	c.Invalidate(0x40)
+	if c.Probe(0x40) {
+		t.Error("line still present after Invalidate")
+	}
+	// Invalidating a missing line is a no-op.
+	c.Invalidate(0x999940)
+}
+
+func TestReset(t *testing.T) {
+	c := small()
+	c.Access(0x40, true)
+	c.Reset()
+	if c.Probe(0x40) {
+		t.Error("contents survived Reset")
+	}
+	if c.Stats() != (Stats{}) {
+		t.Error("stats survived Reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate should be 0")
+	}
+	s = Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", s.MissRate())
+	}
+}
+
+func TestNumSets(t *testing.T) {
+	if got := small().NumSets(); got != 4 {
+		t.Errorf("NumSets = %d, want 4", got)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB("dtlb", 4, 4)
+	if tlb.Access(0x1000) {
+		t.Error("cold TLB should miss")
+	}
+	if !tlb.Access(0x1FFF) {
+		t.Error("same page should hit")
+	}
+	if tlb.Access(0x2000) {
+		t.Error("different page should miss")
+	}
+	if tlb.Stats().Misses != 2 {
+		t.Errorf("TLB misses = %d, want 2", tlb.Stats().Misses)
+	}
+	tlb.Reset()
+	if tlb.Stats().Accesses != 0 {
+		t.Error("TLB stats survived reset")
+	}
+}
+
+// Property: a cache with N= sets*assoc lines never reports more hits than
+// accesses, and repeated accesses to a working set smaller than one set's
+// associativity always hit after the first touch.
+func TestSmallWorkingSetAlwaysHitsProperty(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		c := New(Config{Name: "p", SizeBytes: 8 * 1024, LineBytes: 64, Assoc: 4})
+		if len(blocks) > 64 {
+			blocks = blocks[:64]
+		}
+		// Touch two distinct lines, then all further accesses to them hit.
+		c.Access(0, false)
+		c.Access(64, false)
+		for _, b := range blocks {
+			addr := uint64(b%2) * 64
+			if !c.Access(addr, false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: misses never exceed accesses and stats are monotone.
+func TestStatsMonotoneProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := small()
+		var prev Stats
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+			st := c.Stats()
+			if st.Accesses < prev.Accesses || st.Misses < prev.Misses || st.Misses > st.Accesses {
+				return false
+			}
+			prev = st
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package emu
+
+import "errors"
+
+// Stream provides rewindable access to the dynamic instruction stream of an
+// emulator.
+//
+// The cycle-level timing model fetches along the architecturally correct path
+// (oracle-path simulation). When it squashes in-flight work — on a branch
+// mis-prediction or a store-load bypassing mis-prediction — it must re-fetch
+// the same dynamic instructions, so the stream keeps every record from the
+// oldest un-released (i.e., not yet retired) instruction onward and lets the
+// consumer move its fetch cursor backwards.
+type Stream struct {
+	emu *Emulator
+	// buf holds dynamic instructions with sequence numbers
+	// [base+1, base+len(buf)].
+	buf  []*DynInst
+	base uint64
+	// done is set once the emulator halts or errors; err records why.
+	done bool
+	err  error
+	// limit bounds the total number of dynamic instructions produced.
+	limit uint64
+}
+
+// ErrEndOfStream is returned by Get when the program has halted (or the
+// stream limit has been reached) and no instruction with the requested
+// sequence number exists.
+var ErrEndOfStream = errors.New("emu: end of dynamic instruction stream")
+
+// NewStream wraps an emulator. limit bounds the number of dynamic
+// instructions the stream will produce (0 means no additional bound beyond
+// the emulator's own MaxInsts).
+func NewStream(e *Emulator, limit uint64) *Stream {
+	return &Stream{emu: e, limit: limit}
+}
+
+// Get returns the dynamic instruction with sequence number seq (1-based).
+// It generates instructions lazily. Requesting a released instruction panics:
+// that is a bug in the consumer, which must not rewind behind retirement.
+func (s *Stream) Get(seq uint64) (*DynInst, error) {
+	if seq == 0 || seq <= s.base {
+		panic("emu: Stream.Get for a released sequence number")
+	}
+	for seq > s.base+uint64(len(s.buf)) {
+		if s.done {
+			return nil, s.err
+		}
+		if s.limit > 0 && s.emu.InstCount() >= s.limit {
+			s.done = true
+			s.err = ErrEndOfStream
+			return nil, s.err
+		}
+		d, err := s.emu.Step()
+		if err != nil {
+			s.done = true
+			if errors.Is(err, ErrHalted) || errors.Is(err, ErrLimit) {
+				s.err = ErrEndOfStream
+			} else {
+				s.err = err
+			}
+			return nil, s.err
+		}
+		s.buf = append(s.buf, d)
+		if s.emu.Halted() {
+			s.done = true
+			s.err = ErrEndOfStream
+		}
+	}
+	return s.buf[seq-s.base-1], nil
+}
+
+// Release discards all instructions with sequence numbers <= seq. The
+// consumer calls this as instructions retire; released instructions can no
+// longer be re-fetched.
+func (s *Stream) Release(seq uint64) {
+	if seq <= s.base {
+		return
+	}
+	n := seq - s.base
+	if n > uint64(len(s.buf)) {
+		n = uint64(len(s.buf))
+	}
+	s.buf = s.buf[n:]
+	s.base += n
+}
+
+// Produced returns the total number of dynamic instructions generated so far.
+func (s *Stream) Produced() uint64 { return s.base + uint64(len(s.buf)) }
+
+// Buffered returns the number of instructions currently held (produced but
+// not released).
+func (s *Stream) Buffered() int { return len(s.buf) }
+
+// Done reports whether the underlying program has ended.
+func (s *Stream) Done() bool { return s.done }

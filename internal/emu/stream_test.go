@@ -1,0 +1,130 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func countedProgram(n int) *program.Program {
+	b := program.NewBuilder("counted")
+	r1 := isa.IntReg(1)
+	for i := 0; i < n; i++ {
+		b.AddImm(r1, r1, 1)
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestStreamSequentialGet(t *testing.T) {
+	s := NewStream(New(countedProgram(10)), 0)
+	for seq := uint64(1); seq <= 11; seq++ { // 10 adds + halt
+		d, err := s.Get(seq)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", seq, err)
+		}
+		if d.Seq != seq {
+			t.Errorf("Get(%d).Seq = %d", seq, d.Seq)
+		}
+	}
+	if _, err := s.Get(12); !errors.Is(err, ErrEndOfStream) {
+		t.Errorf("expected end of stream, got %v", err)
+	}
+}
+
+func TestStreamRewind(t *testing.T) {
+	s := NewStream(New(countedProgram(20)), 0)
+	first := make([]*DynInst, 0, 10)
+	for seq := uint64(1); seq <= 10; seq++ {
+		d, err := s.Get(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, d)
+	}
+	// Re-fetch the same range (as after a squash): identical records returned.
+	for seq := uint64(3); seq <= 10; seq++ {
+		d, err := s.Get(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != first[seq-1] {
+			t.Errorf("rewound Get(%d) returned a different record", seq)
+		}
+	}
+}
+
+func TestStreamRelease(t *testing.T) {
+	s := NewStream(New(countedProgram(20)), 0)
+	for seq := uint64(1); seq <= 15; seq++ {
+		if _, err := s.Get(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Release(10)
+	if s.Buffered() != 5 {
+		t.Errorf("Buffered = %d, want 5", s.Buffered())
+	}
+	// Getting a released seq must panic (consumer bug).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Get of released seq should panic")
+			}
+		}()
+		s.Get(10)
+	}()
+	// Getting beyond the released point still works.
+	if _, err := s.Get(11); err != nil {
+		t.Errorf("Get(11) after release: %v", err)
+	}
+	// Releasing an already-released prefix is a no-op.
+	s.Release(5)
+	if s.Buffered() != 5 {
+		t.Errorf("redundant release changed buffer: %d", s.Buffered())
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	b := program.NewBuilder("spin")
+	b.Label("top").Jump("top")
+	s := NewStream(New(b.MustBuild()), 50)
+	var lastErr error
+	n := 0
+	for seq := uint64(1); ; seq++ {
+		_, err := s.Get(seq)
+		if err != nil {
+			lastErr = err
+			break
+		}
+		n++
+		if n > 1000 {
+			t.Fatal("limit not enforced")
+		}
+	}
+	if !errors.Is(lastErr, ErrEndOfStream) {
+		t.Fatalf("expected end of stream at limit, got %v", lastErr)
+	}
+	if n != 50 {
+		t.Errorf("produced %d instructions, want 50", n)
+	}
+	if !s.Done() {
+		t.Error("stream should be done")
+	}
+}
+
+func TestStreamProduced(t *testing.T) {
+	s := NewStream(New(countedProgram(5)), 0)
+	if _, err := s.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Produced() != 3 {
+		t.Errorf("Produced = %d, want 3", s.Produced())
+	}
+	s.Release(2)
+	if s.Produced() != 3 {
+		t.Errorf("Produced after release = %d, want 3", s.Produced())
+	}
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4): Table 5 (communication behaviour and prediction
+// accuracy), Figure 2 (performance at a 128-entry window), Figure 3
+// (performance at a 256-entry window), Figure 4 (data-cache read bandwidth),
+// and Figure 5 (bypassing-predictor sensitivity to capacity and history
+// length).
+//
+// Each experiment returns both a formatted text table (in the same shape as
+// the paper's presentation) and structured rows for programmatic use. Runs
+// are farmed out to a worker pool, one simulation per benchmark/configuration
+// pair.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options controls an experiment.
+type Options struct {
+	// Iterations is the synthetic workload length per benchmark (0 = the
+	// workload default, a few hundred thousand dynamic instructions).
+	Iterations int
+	// Benchmarks restricts the experiment to a subset of benchmark names
+	// (nil = the experiment's own default set).
+	Benchmarks []string
+	// Parallelism is the number of concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// job is one simulation request.
+type job struct {
+	benchmark string
+	key       string
+	cfg       pipeline.Config
+}
+
+// result is one finished simulation.
+type result struct {
+	job job
+	run stats.Run
+	err error
+}
+
+// runMatrix runs every (benchmark, configuration) pair through the simulator
+// using a worker pool, generating each benchmark's program once.
+func runMatrix(benchmarks []string, cfgs map[string]pipeline.Config, iterations, workers int) (map[string]map[string]stats.Run, error) {
+	// Generate programs up front (cheap, single-threaded, deterministic).
+	progs := make(map[string]*program.Program, len(benchmarks))
+	for _, b := range benchmarks {
+		p, err := workload.Generate(b, workload.Options{Iterations: iterations})
+		if err != nil {
+			return nil, err
+		}
+		progs[b] = p
+	}
+
+	jobs := make(chan job)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sim, err := pipeline.New(progs[j.benchmark], j.cfg)
+				if err != nil {
+					results <- result{job: j, err: err}
+					continue
+				}
+				run, err := sim.Run()
+				results <- result{job: j, run: run, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, b := range benchmarks {
+			for key, cfg := range cfgs {
+				jobs <- job{benchmark: b, key: key, cfg: cfg}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[string]map[string]stats.Run, len(benchmarks))
+	for _, b := range benchmarks {
+		out[b] = make(map[string]stats.Run, len(cfgs))
+	}
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", r.job.benchmark, r.job.key, r.err)
+			}
+			continue
+		}
+		out[r.job.benchmark][r.job.key] = r.run
+	}
+	return out, firstErr
+}
+
+// suiteOf returns the suite a benchmark belongs to.
+func suiteOf(benchmark string) workload.Suite {
+	p, err := workload.ProfileByName(benchmark)
+	if err != nil {
+		return workload.SPECint
+	}
+	return p.Suite
+}
+
+// orderedBySuite returns the benchmarks grouped in the paper's suite order.
+func orderedBySuite(benchmarks []string) map[workload.Suite][]string {
+	out := make(map[workload.Suite][]string)
+	for _, b := range benchmarks {
+		s := suiteOf(b)
+		out[s] = append(out[s], b)
+	}
+	return out
+}
+
+var suiteOrder = []workload.Suite{workload.MediaBench, workload.SPECint, workload.SPECfp}
+
+// defaultBenchmarks resolves the benchmark list for an experiment.
+func defaultBenchmarks(opts Options, selected bool) []string {
+	if len(opts.Benchmarks) > 0 {
+		return opts.Benchmarks
+	}
+	if selected {
+		return core.SelectedBenchmarks()
+	}
+	return core.Benchmarks()
+}
+
+// kindConfigs builds the pipeline configurations for a set of configuration
+// kinds at a given window size.
+func kindConfigs(kinds []core.ConfigKind, window int) map[string]pipeline.Config {
+	out := make(map[string]pipeline.Config, len(kinds))
+	for _, k := range kinds {
+		out[k.String()] = core.ConfigFor(k, window)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package mem provides the sparse byte-addressed memory used by the
+// functional emulator and the data-cache model.
+//
+// Memory is organised as fixed-size pages allocated on first touch, so
+// programs can use widely separated address regions (code, globals, stack,
+// heap) without reserving space for the gaps.
+package mem
+
+import "fmt"
+
+// PageBits is the log2 of the page size.
+const PageBits = 12
+
+// PageSize is the size of one page in bytes.
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+// Memory is a sparse, paged, little-endian byte-addressed memory.
+// The zero value is ready to use. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+	// touched counts pages allocated, exported for statistics.
+	touched int
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Pages returns the number of pages that have been touched.
+func (m *Memory) Pages() int { return m.touched }
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+		m.touched++
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 if never written).
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read returns size bytes starting at addr as a little-endian unsigned
+// integer. size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	checkSize(size)
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	checkSize(size)
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadSigned reads size bytes at addr and sign-extends the value to 64 bits.
+func (m *Memory) ReadSigned(addr uint64, size int) uint64 {
+	v := m.Read(addr, size)
+	return SignExtend(v, size)
+}
+
+// SignExtend sign-extends the low size bytes of v to 64 bits.
+func SignExtend(v uint64, size int) uint64 {
+	checkSize(size)
+	if size == 8 {
+		return v
+	}
+	shift := uint(64 - 8*size)
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// ZeroExtend masks v down to its low size bytes.
+func ZeroExtend(v uint64, size int) uint64 {
+	checkSize(size)
+	if size == 8 {
+		return v
+	}
+	return v & ((1 << (8 * uint(size))) - 1)
+}
+
+func checkSize(size int) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: invalid access size %d", size))
+	}
+}

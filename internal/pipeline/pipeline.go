@@ -1,0 +1,324 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/bypass"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/smb"
+	"repro/internal/stats"
+	"repro/internal/storesets"
+	"repro/internal/svw"
+)
+
+// Simulator is one instance of the timing model running one program under one
+// machine configuration.
+type Simulator struct {
+	cfg    Config
+	stream *emu.Stream
+
+	// Hardware structures.
+	bp    *bpred.Predictor
+	ss    *storesets.Predictor
+	byp   *bypass.Predictor
+	tssbf *svw.TSSBF
+	srq   *smb.SRQ
+	l1i   *cache.Cache
+	l1d   *cache.Cache
+	l2    *cache.Cache
+	itlb  *cache.TLB
+	dtlb  *cache.TLB
+
+	now uint64
+
+	// window holds in-flight instructions in age order; sequence numbers are
+	// contiguous, so window[i].seq == window[0].seq + i.
+	window []*inflight
+
+	// Fetch state.
+	fetchSeq         uint64
+	fetchResumeCycle uint64
+	fetchBlockedOn   uint64 // seq of an unresolved mispredicted branch (0 = none)
+	streamEnded      bool
+	pathHist         bypass.PathHistory
+	histAfterRetired uint64
+
+	// Rename state.
+	ssnRenamed   uint64
+	ratProducer  map[isa.Reg]uint64
+	robUsed      int
+	physRegsUsed int
+	iqUsed       int
+	lqUsed       int
+	sqUsed       int
+
+	// Back-end state.
+	backendQ        []*inflight
+	nextBackendDC   uint64
+	ssnCommitted    uint64
+	ssnInDCache     uint64
+	pendingDCWrites []pendingWrite
+
+	res       stats.Run
+	committed uint64
+	halted    bool
+}
+
+type pendingWrite struct {
+	ssn   uint64
+	cycle uint64
+}
+
+// New creates a simulator for the given program and configuration.
+func New(p *program.Program, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := emu.New(p)
+	s := &Simulator{
+		cfg:         cfg,
+		stream:      emu.NewStream(e, cfg.MaxInsts),
+		bp:          bpred.New(cfg.BPred),
+		ss:          storesets.New(cfg.StoreSets),
+		byp:         bypass.New(cfg.BypassPred),
+		tssbf:       svw.NewTSSBF(cfg.TSSBFEntries, cfg.TSSBFAssoc),
+		srq:         smb.NewSRQ(cfg.ROBSize),
+		l1i:         cache.New(cfg.L1I),
+		l1d:         cache.New(cfg.L1D),
+		l2:          cache.New(cfg.L2),
+		itlb:        cache.NewTLB("itlb", cfg.ITLBEntries, cfg.TLBAssoc),
+		dtlb:        cache.NewTLB("dtlb", cfg.DTLBEntries, cfg.TLBAssoc),
+		fetchSeq:    1,
+		ratProducer: make(map[isa.Reg]uint64),
+	}
+	s.res.Benchmark = p.Name
+	s.res.Config = cfg.Name
+	return s, nil
+}
+
+// MustNew is New but panics on error (for tests and benchmarks with known
+// configurations).
+func MustNew(p *program.Program, cfg Config) *Simulator {
+	s, err := New(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Result returns the statistics accumulated so far.
+func (s *Simulator) Result() stats.Run { return s.res }
+
+// Cycles returns the current cycle count.
+func (s *Simulator) Cycles() uint64 { return s.now }
+
+// ErrCycleLimit is returned by Run when MaxCycles elapses before the workload
+// completes (usually indicating a deadlocked model — a bug).
+var ErrCycleLimit = errors.New("pipeline: cycle limit exceeded")
+
+// Run simulates until the program completes (or MaxInsts instructions commit)
+// and returns the accumulated statistics.
+func (s *Simulator) Run() (stats.Run, error) {
+	for !s.done() {
+		if s.cfg.MaxCycles > 0 && s.now >= s.cfg.MaxCycles {
+			return s.res, fmt.Errorf("%w after %d cycles (%d committed)", ErrCycleLimit, s.now, s.committed)
+		}
+		s.step()
+	}
+	s.res.Cycles = s.now
+	return s.res, nil
+}
+
+func (s *Simulator) done() bool {
+	return s.streamEnded && len(s.window) == 0 && len(s.backendQ) == 0
+}
+
+// step advances the machine by one cycle. Stages run back to front so that
+// resources freed this cycle become available to earlier stages next cycle.
+func (s *Simulator) step() {
+	s.drainDCacheWrites()
+	s.retire()
+	s.commitEnter()
+	s.complete()
+	s.issue()
+	s.rename()
+	s.fetch()
+	s.now++
+}
+
+// drainDCacheWrites makes committed stores' data-cache writes visible.
+func (s *Simulator) drainDCacheWrites() {
+	i := 0
+	for ; i < len(s.pendingDCWrites); i++ {
+		if s.pendingDCWrites[i].cycle > s.now {
+			break
+		}
+		s.ssnInDCache = s.pendingDCWrites[i].ssn
+	}
+	if i > 0 {
+		s.pendingDCWrites = s.pendingDCWrites[i:]
+	}
+}
+
+// find returns the in-flight record for seq, or nil if it is not in the
+// window (already retired or never fetched).
+func (s *Simulator) find(seq uint64) *inflight {
+	if len(s.window) == 0 {
+		return nil
+	}
+	base := s.window[0].seq
+	if seq < base || seq >= base+uint64(len(s.window)) {
+		return nil
+	}
+	return s.window[seq-base]
+}
+
+// producerDone reports whether the producer with the given sequence number
+// has produced its value (completed) or already left the window.
+func (s *Simulator) producerDone(seq uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	in := s.find(seq)
+	if in == nil {
+		return true
+	}
+	return in.completed
+}
+
+// renameableRegs returns the number of physical registers available for
+// renaming (total minus the architectural registers).
+func (s *Simulator) renameableRegs() int { return s.cfg.PhysRegs - isa.NumArchRegs }
+
+// loadLatency models a data-cache read by the out-of-order core, returning
+// the load-to-use latency and updating cache state and statistics.
+func (s *Simulator) loadLatency(addr uint64) int {
+	s.res.DCacheCoreReads++
+	lat := s.cfg.DCacheLatency
+	if !s.dtlb.Access(addr) {
+		lat += 30 // page-table walk
+	}
+	if s.l1d.Access(addr, false) {
+		return lat
+	}
+	lat += s.cfg.L2Latency
+	if s.l2.Access(addr, false) {
+		return lat
+	}
+	return lat + s.cfg.MemLatency
+}
+
+// icacheLatency models an instruction fetch; returns 0 on an L1I hit.
+func (s *Simulator) icacheLatency(pc uint64) int {
+	if s.l1i.Access(pc, false) {
+		return 0
+	}
+	if s.l2.Access(pc, false) {
+		return s.cfg.L2Latency
+	}
+	return s.cfg.MemLatency
+}
+
+// squash removes every in-flight instruction younger than afterSeq, restores
+// rename state, and redirects fetch to afterSeq+1.
+func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
+	// Find the split point in the window.
+	keep := len(s.window)
+	for i, in := range s.window {
+		if in.seq > afterSeq {
+			keep = i
+			break
+		}
+	}
+	victims := s.window[keep:]
+	s.window = s.window[:keep]
+
+	for _, v := range victims {
+		s.releaseResources(v)
+		if v.renamed {
+			s.robUsed--
+		}
+		if v.isStore() && v.ssn != 0 {
+			s.srq.Release(v.ssn)
+		}
+	}
+	// Squashed instructions that had already entered the back-end (younger
+	// than the flushing load but committed into the back-end pipeline in the
+	// same or a later cycle) are removed from it, along with any data-cache
+	// writes they had scheduled.
+	for len(s.backendQ) > 0 && s.backendQ[len(s.backendQ)-1].seq > afterSeq {
+		s.backendQ = s.backendQ[:len(s.backendQ)-1]
+	}
+	// Rename-time SSN counter rewinds to the youngest surviving store.
+	s.ssnRenamed = s.ssnCommitted
+	for _, in := range s.window {
+		if in.isStore() && in.renamed && in.ssn > s.ssnRenamed {
+			s.ssnRenamed = in.ssn
+		}
+	}
+	kept := s.pendingDCWrites[:0]
+	for _, w := range s.pendingDCWrites {
+		if w.ssn <= s.ssnRenamed {
+			kept = append(kept, w)
+		}
+	}
+	s.pendingDCWrites = kept
+	// Rebuild the producer map from the survivors.
+	s.ratProducer = make(map[isa.Reg]uint64)
+	for _, in := range s.window {
+		if !in.renamed {
+			continue
+		}
+		st := in.dyn.Static
+		if st.HasDst() {
+			if in.bypassed {
+				// The load's consumers track the DEF, not the load.
+				if in.srcSeqs[1] != 0 {
+					s.ratProducer[st.Dst] = in.srcSeqs[1]
+				} else {
+					delete(s.ratProducer, st.Dst)
+				}
+			} else {
+				s.ratProducer[st.Dst] = in.seq
+			}
+		}
+	}
+	// Restore path history and fetch state.
+	if keep > 0 {
+		s.pathHist = bypass.HistoryFromValue(s.window[keep-1].histAfter)
+	} else {
+		s.pathHist = bypass.HistoryFromValue(s.histAfterRetired)
+	}
+	s.fetchSeq = afterSeq + 1
+	s.fetchResumeCycle = resumeCycle
+	if s.fetchBlockedOn > afterSeq {
+		s.fetchBlockedOn = 0
+	}
+	s.streamEnded = false
+	s.res.Flushes++
+}
+
+// releaseResources frees everything an in-flight instruction holds.
+func (s *Simulator) releaseResources(in *inflight) {
+	if in.holdsPhysReg {
+		s.physRegsUsed--
+		in.holdsPhysReg = false
+	}
+	if in.holdsIQ {
+		s.iqUsed--
+		in.holdsIQ = false
+	}
+	if in.holdsLQ {
+		s.lqUsed--
+		in.holdsLQ = false
+	}
+	if in.holdsSQ {
+		s.sqUsed--
+		in.holdsSQ = false
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats provides the simulation result types and the small numeric
+// helpers (geometric and arithmetic means, relative execution time) used by
+// the experiment harness to reproduce the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run holds the measurements of one simulation run (one benchmark under one
+// machine configuration).
+type Run struct {
+	// Benchmark is the workload name.
+	Benchmark string
+	// Config is the machine configuration name.
+	Config string
+
+	// Cycles is the total simulated cycles.
+	Cycles uint64
+	// Committed is the number of committed (retired) instructions.
+	Committed uint64
+	// CommittedLoads / CommittedStores break down committed instructions.
+	CommittedLoads  uint64
+	CommittedStores uint64
+
+	// InWindowComm counts committed loads whose communicating store was
+	// within the last 128 dynamic instructions (Table 5's definition).
+	InWindowComm uint64
+	// InWindowPartial counts the subset of InWindowComm where either the
+	// load or the store is narrower than 8 bytes.
+	InWindowPartial uint64
+
+	// BypassedLoads counts loads that performed speculative memory bypassing.
+	BypassedLoads uint64
+	// DelayedLoads counts loads held by the delay mechanism.
+	DelayedLoads uint64
+	// BypassMispredictions counts commit-time bypassing mis-predictions
+	// (the three cases of Section 3.3).
+	BypassMispredictions uint64
+	// Flushes counts pipeline flushes due to load value mis-speculation.
+	Flushes uint64
+
+	// DCacheCoreReads counts data-cache reads performed by the out-of-order
+	// core; DCacheBackendReads counts back-end re-execution reads.
+	DCacheCoreReads    uint64
+	DCacheBackendReads uint64
+	// Reexecutions counts loads that re-executed before commit.
+	Reexecutions uint64
+	// SQForwards counts loads that forwarded from the store queue (baseline).
+	SQForwards uint64
+
+	// BranchMispredicts counts conditional-direction and target mispredictions.
+	BranchMispredicts uint64
+
+	// Rename-stall cycle breakdown: cycles in which rename could not proceed
+	// because a resource was exhausted.
+	StallROB      uint64
+	StallIQ       uint64
+	StallPhys     uint64
+	StallLQ       uint64
+	StallSQ       uint64
+	StallFrontend uint64 // cycles with nothing available to rename
+	// IdleIssueCycles counts cycles in which nothing issued.
+	IdleIssueCycles uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// MispredictsPer10kLoads returns bypassing mis-predictions per 10,000
+// committed loads (the unit of Table 5).
+func (r Run) MispredictsPer10kLoads() float64 {
+	if r.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(r.BypassMispredictions) * 10000 / float64(r.CommittedLoads)
+}
+
+// PctLoadsDelayed returns the percentage of committed loads that were delayed.
+func (r Run) PctLoadsDelayed() float64 {
+	if r.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(r.DelayedLoads) * 100 / float64(r.CommittedLoads)
+}
+
+// PctInWindowComm returns the percentage of committed loads with in-window
+// store-load communication.
+func (r Run) PctInWindowComm() float64 {
+	if r.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(r.InWindowComm) * 100 / float64(r.CommittedLoads)
+}
+
+// PctInWindowPartial returns the percentage of committed loads with
+// partial-word in-window communication.
+func (r Run) PctInWindowPartial() float64 {
+	if r.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(r.InWindowPartial) * 100 / float64(r.CommittedLoads)
+}
+
+// TotalDCacheReads returns core plus back-end data-cache reads.
+func (r Run) TotalDCacheReads() uint64 { return r.DCacheCoreReads + r.DCacheBackendReads }
+
+// RelativeExecutionTime returns r's execution time relative to base
+// (1.0 = same, <1.0 = faster than base), the metric of Figures 2, 3 and 5.
+func RelativeExecutionTime(r, base Run) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(base.Cycles)
+}
+
+// GeoMean returns the geometric mean of xs (0 if empty or any x <= 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Table is a simple fixed-column text table used by the experiment harness
+// and CLI tools to print paper-style rows.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v (floats with 3 decimals).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortRowsBy sorts the data rows by the given column index (string order).
+func (t *Table) SortRowsBy(col int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		if col >= len(t.rows[i]) || col >= len(t.rows[j]) {
+			return false
+		}
+		return t.rows[i][col] < t.rows[j][col]
+	})
+}
