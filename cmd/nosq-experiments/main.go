@@ -1,78 +1,164 @@
-// Command nosq-experiments regenerates the paper's evaluation: Table 5 and
-// Figures 2-5. Each experiment prints a text table whose rows correspond to
-// the paper's rows/bars.
+// Command nosq-experiments runs the registered experiments: the paper's
+// evaluation (Table 5 and Figures 2-5) plus the free-form sweep. Results
+// render as paper-style text (default), Markdown, JSON, or CSV, and long
+// sweeps can be sharded across processes and resumed from a JSONL
+// checkpoint.
 //
 // Examples:
 //
+//	nosq-experiments -list
 //	nosq-experiments -exp table5
-//	nosq-experiments -exp fig2 -iters 400
+//	nosq-experiments -exp fig2 -iters 400 -format markdown -out fig2.md
 //	nosq-experiments -exp all -benchmarks gzip,mesa.o,applu -iters 100
+//	nosq-experiments -exp sweep -configs nosq-delay,assoc-sq-storesets \
+//	    -windows 128,256 -format csv -out sweep.csv
+//	nosq-experiments -exp sweep -shards 4 -shard-index 2 -checkpoint s2.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
+// derivedPath inserts an experiment name before a path's extension:
+// out.json → out.table5.json.
+func derivedPath(path, name string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + name + ext
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table5, fig2, fig3, fig4, fig5cap, fig5hist, all")
-		iters    = flag.Int("iters", 0, "workload iterations per benchmark (0 = default)")
-		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: experiment's own set)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		exp        = flag.String("exp", "all", `experiment name (see -list), or "all"`)
+		list       = flag.Bool("list", false, "list registered experiments, then exit")
+		format     = flag.String("format", stats.FormatText, "output format: "+strings.Join(stats.Formats(), ", "))
+		out        = flag.String("out", "", "write output to this file (default: stdout); several selected experiments get derived files (out.json -> out.<exp>.json)")
+		iters      = flag.Int("iters", 0, "workload iterations per benchmark (0 = default)")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: experiment's own set)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		configs    = flag.String("configs", "", "sweep only: comma-separated configuration kinds (default: all)")
+		windows    = flag.String("windows", "", "sweep only: comma-separated window sizes (default: 128)")
+		shards     = flag.Int("shards", 0, "split the job list across N processes (0 or 1 = no sharding)")
+		shardIndex = flag.Int("shard-index", 0, "this process's 0-based shard (with -shards)")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Iterations: *iters, Parallelism: *parallel}
-	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
-	}
-
-	type runner struct {
-		name string
-		fn   func(experiments.Options) (*stats.Table, error)
-	}
-	wrap2 := func(f func(experiments.Options) (*stats.Table, []experiments.RelTimeRow, error)) func(experiments.Options) (*stats.Table, error) {
-		return func(o experiments.Options) (*stats.Table, error) { t, _, err := f(o); return t, err }
-	}
-	runners := []runner{
-		{"table5", func(o experiments.Options) (*stats.Table, error) { t, _, err := experiments.Table5(o); return t, err }},
-		{"fig2", wrap2(experiments.Figure2)},
-		{"fig3", wrap2(experiments.Figure3)},
-		{"fig4", func(o experiments.Options) (*stats.Table, error) { t, _, err := experiments.Figure4(o); return t, err }},
-		{"fig5cap", func(o experiments.Options) (*stats.Table, error) {
-			t, _, err := experiments.Figure5Capacity(o)
-			return t, err
-		}},
-		{"fig5hist", func(o experiments.Options) (*stats.Table, error) {
-			t, _, err := experiments.Figure5History(o)
-			return t, err
-		}},
-	}
-
-	ran := false
-	for _, r := range runners {
-		if *exp != "all" && *exp != r.name {
-			continue
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name(), e.Description())
 		}
-		ran = true
+		return
+	}
+
+	// Reject a bad -format before running anything — experiments can take
+	// minutes, and their output would be lost.
+	if err := stats.ValidateFormat(*format); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Iterations:  *iters,
+		Parallelism: *parallel,
+		Shards:      *shards,
+		ShardIndex:  *shardIndex,
+		Checkpoint:  *checkpoint,
+	}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+	if *configs != "" {
+		opts.Configs = strings.Split(*configs, ",")
+	}
+	if *windows != "" {
+		for _, w := range strings.Split(*windows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -windows value %q: %v\n", w, err)
+				os.Exit(2)
+			}
+			opts.Windows = append(opts.Windows, n)
+		}
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	// Concatenated JSON documents or CSVs with differing headers are
+	// unreadable to any parser, so machine formats with several experiments
+	// selected require -out (which derives one file per experiment).
+	machineFormat := *format == stats.FormatJSON || *format == stats.FormatCSV
+	if len(selected) > 1 && machineFormat && *out == "" {
+		fmt.Fprintf(os.Stderr, "-format %s with several experiments needs -out (one derived file per experiment) or a single -exp\n", *format)
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM cancel in-flight experiments; finished pairs stay in
+	// the checkpoint file, so re-running the same command resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for i, e := range selected {
 		start := time.Now()
-		tbl, err := r.fn(opts)
+		rep, err := e.Run(ctx, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name(), err)
 			os.Exit(1)
 		}
-		fmt.Print(tbl.String())
-		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(1)
+		text, err := rep.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		timing := fmt.Sprintf("(%s completed in %v)\n", e.Name(), time.Since(start).Round(time.Millisecond))
+
+		if *out != "" {
+			// The file gets only the report (deterministic, diffable); the
+			// timing line is console progress info.
+			path := *out
+			if len(selected) > 1 {
+				path = derivedPath(path, e.Name())
+			}
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprint(os.Stderr, timing)
+			continue
+		}
+		if *format == stats.FormatText {
+			text += timing
+		}
+		// Renderings end in \n already; add a blank separator only between
+		// the human-readable documents of a multi-experiment run.
+		if i > 0 && !machineFormat {
+			fmt.Println()
+		}
+		fmt.Print(text)
 	}
 }

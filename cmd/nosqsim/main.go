@@ -1,10 +1,12 @@
 // Command nosqsim runs one synthetic benchmark on one (or every) machine
-// configuration and prints the resulting statistics.
+// configuration and prints the resulting statistics as text (default),
+// Markdown, JSON, or CSV.
 //
 // Examples:
 //
 //	nosqsim -bench gzip -config nosq-delay
 //	nosqsim -bench mesa.o -all -window 256 -iters 600
+//	nosqsim -bench gzip -all -format json -out gzip.json
 //	nosqsim -list
 package main
 
@@ -12,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -25,9 +28,17 @@ func main() {
 		window  = flag.Int("window", 128, "instruction window (ROB) size")
 		iters   = flag.Int("iters", 0, "workload iterations (0 = default)")
 		maxInst = flag.Uint64("max-insts", 0, "stop after N committed instructions (0 = unbounded)")
+		format  = flag.String("format", stats.FormatText, "output format: "+strings.Join(stats.Formats(), ", "))
+		out     = flag.String("out", "", "write output to this file (default: stdout)")
 		list    = flag.Bool("list", false, "list benchmarks and configurations, then exit")
 	)
 	flag.Parse()
+
+	// Reject a bad -format before simulating — the run's output would be lost.
+	if err := stats.ValidateFormat(*format); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("Benchmarks:")
@@ -64,5 +75,18 @@ func main() {
 			run.BypassedLoads, run.DelayedLoads, run.MispredictsPer10kLoads(),
 			run.Flushes, run.TotalDCacheReads(), run.Reexecutions)
 	}
-	fmt.Print(tbl.String())
+
+	text, err := tbl.Render(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(text)
 }

@@ -2,13 +2,21 @@
 // Communication without a Store Queue" (Sha, Martin, Roth; MICRO-39, 2006).
 //
 // The library lives under internal/: the SimISA functional emulator and its
-// oracle memory-dependence annotation, the cycle-level out-of-order timing
-// model with both the conventional (associative store queue) and NoSQ
-// organisations, the NoSQ mechanisms themselves (distance-based store-load
-// bypassing prediction, speculative memory bypassing, SVW-filtered in-order
-// load re-execution), the synthetic SPEC2000/MediaBench stand-in workloads,
-// and the experiment harness that regenerates Table 5 and Figures 2-5 of the
-// paper. See README.md for a tour and DESIGN.md for the system inventory.
+// oracle memory-dependence annotation (emu, isa, mem), the cycle-level
+// out-of-order timing model with both the conventional (associative store
+// queue) and NoSQ organisations (pipeline, with bpred, cache, storesets),
+// the NoSQ mechanisms themselves — distance-based store-load bypassing
+// prediction (bypass), speculative memory bypassing (smb), SVW-filtered
+// in-order load re-execution (svw) — the synthetic SPEC2000/MediaBench
+// stand-in workloads (workload, program), and the registry-driven experiment
+// subsystem (experiments, with core and stats) whose named experiments
+// regenerate Table 5 and Figures 2-5 of the paper as text, Markdown, JSON,
+// or CSV, with sharded and checkpoint-resumable sweeps.
+//
+// The command-line drivers are cmd/nosqsim (one simulation) and
+// cmd/nosq-experiments (the experiment registry). See README.md for a tour
+// and quickstart, and DESIGN.md for the system inventory and the NoSQ vs.
+// conventional pipeline data flow.
 //
 // This root package holds the repository-level benchmark harness
 // (bench_test.go): one benchmark per table/figure plus ablation and

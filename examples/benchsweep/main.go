@@ -1,7 +1,8 @@
-// Benchsweep: a miniature Figure 2. Runs a handful of the synthetic
-// SPEC2000/MediaBench stand-in benchmarks under all five machine
-// configurations and prints execution time relative to the ideal baseline,
-// with a suite-style geometric mean.
+// Benchsweep: a miniature Figure 2 driven through the experiment registry.
+// Looks up the registered "fig2" experiment, runs it on a handful of the
+// synthetic SPEC2000/MediaBench stand-in benchmarks, and prints the report
+// in two of its renderings (paper-style text and Markdown) from the same
+// structured rows.
 //
 // Run with:
 //
@@ -9,46 +10,39 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/internal/experiments"
 )
 
 func main() {
-	benchmarks := []string{"g721.e", "gzip", "mesa.o", "vortex", "applu"}
-	kinds := []core.ConfigKind{core.Baseline, core.NoSQNoDelay, core.NoSQDelay, core.PerfectSMB}
-	opts := core.Options{Iterations: 150}
+	exp, err := experiments.Lookup("fig2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := experiments.Options{
+		Iterations: 150,
+		Benchmarks: []string{"g721.e", "gzip", "mesa.o", "vortex", "applu"},
+	}
+	rep, err := exp.Run(context.Background(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	tbl := stats.NewTable("benchsweep: execution time relative to the ideal baseline (lower is better)",
-		"benchmark", "ideal IPC",
-		core.Baseline.String(), core.NoSQNoDelay.String(), core.NoSQDelay.String(), core.PerfectSMB.String())
-
-	rel := make(map[core.ConfigKind][]float64)
-	for _, bench := range benchmarks {
-		ideal, err := core.Simulate(bench, core.IdealBaseline, opts)
+	for _, format := range []string{"text", "markdown"} {
+		out, err := rep.Render(format)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cells := []interface{}{bench, ideal.IPC()}
-		for _, kind := range kinds {
-			run, err := core.Simulate(bench, kind, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			r := stats.RelativeExecutionTime(run, ideal)
-			rel[kind] = append(rel[kind], r)
-			cells = append(cells, r)
-		}
-		tbl.AddRow(cells...)
+		fmt.Println(out)
 	}
-	means := []interface{}{"gmean", ""}
-	for _, kind := range kinds {
-		means = append(means, stats.GeoMean(rel[kind]))
-	}
-	tbl.AddRow(means...)
-	fmt.Print(tbl.String())
+
+	// The same report also carries the typed rows for programmatic use.
+	rows := rep.Rows.([]experiments.RelTimeRow)
+	fmt.Printf("%d structured rows (e.g. %s ideal IPC %.3f)\n",
+		len(rows), rows[0].Benchmark, rows[0].BaselineIPC)
 	fmt.Println("\nExpected shape (paper, Figure 2): NoSQ with delay matches or slightly beats")
 	fmt.Println("the associative store queue on average, and Perfect SMB is a few percent better.")
 }

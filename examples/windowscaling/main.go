@@ -1,9 +1,10 @@
-// Windowscaling: a miniature Figure 3 / Section 4.4 study. Compares NoSQ
-// against the conventional baseline at 128- and 256-entry instruction
-// windows. Following the paper, all window resources scale with the window
-// and the branch predictor is quadrupled, but the 2K-entry bypassing
-// predictor is left unchanged — which is why NoSQ's advantage shrinks on the
-// larger machine.
+// Windowscaling: a miniature Figure 3 / Section 4.4 study built on the sweep
+// experiment. One sweep runs the ideal baseline and NoSQ (with delay) at 128-
+// and 256-entry instruction windows; the typed sweep rows are then folded
+// into relative execution times. Following the paper, all window resources
+// scale with the window and the branch predictor is quadrupled, but the
+// 2K-entry bypassing predictor is left unchanged — which is why NoSQ's
+// advantage shrinks on the larger machine.
 //
 // Run with:
 //
@@ -11,37 +12,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	benchmarks := []string{"gs.d", "gzip", "eon.k", "sixtrack"}
 	windows := []int{128, 256}
+	rep, err := experiments.Sweep(context.Background(), experiments.Options{
+		Iterations: 150,
+		Benchmarks: []string{"gs.d", "gzip", "eon.k", "sixtrack"},
+		Configs:    []string{core.IdealBaseline.String(), core.NoSQDelay.String()},
+		Windows:    windows,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index the sweep's raw measurements by (benchmark, config, window).
+	type cell struct {
+		bench, config string
+		window        int
+	}
+	cycles := make(map[cell]uint64)
+	mis := make(map[cell]float64)
+	var order []string
+	for _, r := range rep.Rows.([]experiments.SweepRow) {
+		c := cell{r.Benchmark, r.Config, r.Window}
+		cycles[c] = r.Cycles
+		mis[c] = r.MisPer10k
+		if r.Config == core.IdealBaseline.String() && r.Window == windows[0] {
+			order = append(order, r.Benchmark)
+		}
+	}
+	// Relative execution time as in stats.RelativeExecutionTime, but over the
+	// sweep's raw cycle counts (0 if the baseline cell is missing).
+	rel := func(c, base cell) float64 {
+		if cycles[base] == 0 {
+			return 0
+		}
+		return float64(cycles[c]) / float64(cycles[base])
+	}
 
 	tbl := stats.NewTable("NoSQ (delay) execution time relative to the ideal baseline, by window size",
 		"benchmark", "window 128", "window 256", "mispred/10k @128", "mispred/10k @256")
-
-	for _, bench := range benchmarks {
-		row := []interface{}{bench}
-		var mis []interface{}
+	ideal, nosq := core.IdealBaseline.String(), core.NoSQDelay.String()
+	for _, b := range order {
+		row := []interface{}{b}
+		var misCells []interface{}
 		for _, w := range windows {
-			opts := core.Options{WindowSize: w, Iterations: 150}
-			ideal, err := core.Simulate(bench, core.IdealBaseline, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			nosq, err := core.Simulate(bench, core.NoSQDelay, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			row = append(row, stats.RelativeExecutionTime(nosq, ideal))
-			mis = append(mis, nosq.MispredictsPer10kLoads())
+			row = append(row, rel(cell{b, nosq, w}, cell{b, ideal, w}))
+			misCells = append(misCells, mis[cell{b, nosq, w}])
 		}
-		row = append(row, mis...)
+		row = append(row, misCells...)
 		tbl.AddRow(row...)
 	}
 	fmt.Print(tbl.String())

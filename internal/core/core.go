@@ -1,7 +1,7 @@
 // Package core is the high-level entry point of the NoSQ reproduction: it
 // ties the workload generator, the machine configurations, and the timing
 // simulator together behind a small API used by the command-line tools, the
-// examples, and the experiment harness.
+// examples, and the experiment subsystem (internal/experiments).
 //
 // The typical flow is:
 //

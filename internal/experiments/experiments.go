@@ -1,24 +1,31 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 4): Table 5 (communication behaviour and prediction
-// accuracy), Figure 2 (performance at a 128-entry window), Figure 3
-// (performance at a 256-entry window), Figure 4 (data-cache read bandwidth),
-// and Figure 5 (bypassing-predictor sensitivity to capacity and history
-// length).
+// Package experiments is the registry-driven experiment subsystem: it
+// regenerates every table and figure of the paper's evaluation (Section 4) —
+// Table 5 (communication behaviour and prediction accuracy), Figure 2
+// (performance at a 128-entry window), Figure 3 (performance at a 256-entry
+// window), Figure 4 (data-cache read bandwidth), and Figure 5
+// (bypassing-predictor sensitivity to capacity and history length) — plus a
+// free-form sweep over arbitrary configuration × window × benchmark grids.
 //
-// Each experiment returns both a formatted text table (in the same shape as
-// the paper's presentation) and structured rows for programmatic use. Runs
-// are farmed out to a worker pool, one simulation per benchmark/configuration
-// pair.
+// Every experiment implements the Experiment interface and is registered by
+// name (table5, fig2, fig3, fig4, fig5cap, fig5hist, sweep); Lookup, Names
+// and All expose the registry to the CLI tools. A run produces a Report —
+// one set of structured rows renderable as paper-style text, Markdown, JSON,
+// or CSV — and the classic per-experiment functions (Table5, Figure2, ...)
+// remain as thin wrappers returning the typed rows directly.
+//
+// Simulations are farmed out to a worker pool by the sweep engine
+// (one simulation per benchmark/configuration pair), which also provides
+// deterministic job ordering, per-shard job selection (Options.Shards /
+// Options.ShardIndex), JSONL checkpointing so interrupted sweeps resume
+// without re-running finished pairs (Options.Checkpoint), and context-based
+// cancellation.
 package experiments
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
-	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -33,6 +40,39 @@ type Options struct {
 	Benchmarks []string
 	// Parallelism is the number of concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+
+	// Shards splits the experiment's deterministic job list across
+	// independent processes: with Shards > 1, this process runs only the jobs
+	// whose position i satisfies i % Shards == ShardIndex (0-based).
+	// Shards <= 1 runs everything.
+	Shards     int
+	ShardIndex int
+
+	// Checkpoint names a JSONL file recording every finished
+	// (benchmark, configuration) run. Pairs already in the file are loaded
+	// instead of re-run, so an interrupted experiment resumes where it
+	// stopped; shards pointed at per-shard files can be concatenated and
+	// re-read to merge a distributed sweep. Entries are scoped by experiment
+	// and by Iterations, so one file can be shared safely — a resume under
+	// different settings re-runs rather than serving stale rows.
+	Checkpoint string
+
+	// Configs and Windows define the sweep experiment's grid: configuration
+	// kind names (see core.Kinds; nil = all five) and instruction-window
+	// sizes (nil = 128). Other experiments ignore them.
+	Configs []string
+	Windows []int
+
+	// scope namespaces checkpoint entries by experiment, so one checkpoint
+	// file shared across experiments (sequential runs, -exp all) can never
+	// serve one experiment's runs to another. Each experiment sets it on
+	// entry; it is not caller-configurable.
+	scope string
+
+	// afterCheckpoint, if set, is called after the n-th checkpoint append
+	// (1-based). Test hook: lets the interrupted-resume test cancel its
+	// context at a deterministic point instead of racing a timer.
+	afterCheckpoint func(n int)
 }
 
 func (o Options) workers() int {
@@ -42,77 +82,22 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// job is one simulation request.
-type job struct {
-	benchmark string
-	key       string
-	cfg       pipeline.Config
-}
-
-// result is one finished simulation.
-type result struct {
-	job job
-	run stats.Run
-	err error
-}
-
-// runMatrix runs every (benchmark, configuration) pair through the simulator
-// using a worker pool, generating each benchmark's program once.
-func runMatrix(benchmarks []string, cfgs map[string]pipeline.Config, iterations, workers int) (map[string]map[string]stats.Run, error) {
-	// Generate programs up front (cheap, single-threaded, deterministic).
-	progs := make(map[string]*program.Program, len(benchmarks))
+// completeOnly filters benchmarks down to those with a run for every
+// configuration key, recording the number dropped in sum.Incomplete. The
+// table and figure experiments derive every row from the full configuration
+// set, so a benchmark whose cells were skipped by shard selection must be
+// dropped rather than rendered with zero-value runs; the full table comes
+// from replaying the merged checkpoints.
+func completeOnly(benchmarks []string, runs map[string]map[string]stats.Run, nCfgs int, sum *sweepSummary) []string {
+	out := benchmarks[:0:0]
 	for _, b := range benchmarks {
-		p, err := workload.Generate(b, workload.Options{Iterations: iterations})
-		if err != nil {
-			return nil, err
+		if len(runs[b]) == nCfgs {
+			out = append(out, b)
+		} else {
+			sum.Incomplete++
 		}
-		progs[b] = p
 	}
-
-	jobs := make(chan job)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				sim, err := pipeline.New(progs[j.benchmark], j.cfg)
-				if err != nil {
-					results <- result{job: j, err: err}
-					continue
-				}
-				run, err := sim.Run()
-				results <- result{job: j, run: run, err: err}
-			}
-		}()
-	}
-	go func() {
-		for _, b := range benchmarks {
-			for key, cfg := range cfgs {
-				jobs <- job{benchmark: b, key: key, cfg: cfg}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	out := make(map[string]map[string]stats.Run, len(benchmarks))
-	for _, b := range benchmarks {
-		out[b] = make(map[string]stats.Run, len(cfgs))
-	}
-	var firstErr error
-	for r := range results {
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s: %w", r.job.benchmark, r.job.key, r.err)
-			}
-			continue
-		}
-		out[r.job.benchmark][r.job.key] = r.run
-	}
-	return out, firstErr
+	return out
 }
 
 // suiteOf returns the suite a benchmark belongs to.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -140,15 +141,16 @@ func TestFigure5HistoryQuick(t *testing.T) {
 	}
 }
 
-func TestRunMatrixErrorPropagation(t *testing.T) {
+func TestRunSweepErrorPropagation(t *testing.T) {
 	cfg := core.ConfigFor(core.Baseline, 0)
 	cfg.ROBSize = 0 // invalid: pipeline.New must reject it
-	_, err := runMatrix([]string{"gzip"}, map[string]pipeline.Config{"bad": cfg}, 5, 1)
+	opts := Options{Iterations: 5, Parallelism: 1}
+	_, _, err := runSweep(context.Background(), []string{"gzip"}, map[string]pipeline.Config{"bad": cfg}, opts)
 	if err == nil {
 		t.Fatal("invalid configuration should surface as an error")
 	}
 	// Unknown benchmark fails during program generation.
-	if _, err := runMatrix([]string{"nope"}, kindConfigs([]core.ConfigKind{core.Baseline}, 0), 5, 1); err == nil {
+	if _, _, err := runSweep(context.Background(), []string{"nope"}, kindConfigs([]core.ConfigKind{core.Baseline}, 0), opts); err == nil {
 		t.Fatal("unknown benchmark should surface as an error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -29,28 +30,46 @@ type RelTimeRow struct {
 // figureKinds are the four bars of Figures 2 and 3, in presentation order.
 var figureKinds = []core.ConfigKind{core.Baseline, core.NoSQNoDelay, core.NoSQDelay, core.PerfectSMB}
 
+// Figure titles, shared by the classic wrappers and the registry.
+const (
+	fig2Title = "Figure 2: relative execution time (128-entry window)"
+	fig3Title = "Figure 3: relative execution time (256-entry window)"
+)
+
 // Figure2 reproduces Figure 2: execution time of the associative-store-queue
 // baseline, NoSQ without delay, NoSQ with delay, and perfect SMB, relative to
 // the ideal baseline, on the 128-entry-window machine.
 func Figure2(opts Options) (*stats.Table, []RelTimeRow, error) {
-	return relativeTimeFigure("Figure 2: relative execution time (128-entry window)", opts, false, 128)
+	tbl, rows, _, err := figure2(context.Background(), opts)
+	return tbl, rows, err
+}
+
+func figure2(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+	return relativeTimeFigure(ctx, fig2Title, opts, false, 128)
 }
 
 // Figure3 reproduces Figure 3: the same comparison on a 256-entry-window
 // machine (window resources doubled, branch predictor quadrupled, bypassing
 // predictor unchanged), on the paper's selected benchmarks.
 func Figure3(opts Options) (*stats.Table, []RelTimeRow, error) {
-	return relativeTimeFigure("Figure 3: relative execution time (256-entry window)", opts, true, 256)
+	tbl, rows, _, err := figure3(context.Background(), opts)
+	return tbl, rows, err
 }
 
-func relativeTimeFigure(title string, opts Options, selected bool, window int) (*stats.Table, []RelTimeRow, error) {
+func figure3(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+	return relativeTimeFigure(ctx, fig3Title, opts, true, 256)
+}
+
+func relativeTimeFigure(ctx context.Context, title string, opts Options, selected bool, window int) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+	opts.scope = fmt.Sprintf("figure-w%d", window)
 	benchmarks := defaultBenchmarks(opts, selected)
 	kinds := append([]core.ConfigKind{core.IdealBaseline}, figureKinds...)
 	cfgs := kindConfigs(kinds, window)
-	runs, err := runMatrix(benchmarks, cfgs, opts.Iterations, opts.workers())
+	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sum, err
 	}
+	benchmarks = completeOnly(benchmarks, runs, len(cfgs), &sum)
 
 	var rows []RelTimeRow
 	bySuite := orderedBySuite(benchmarks)
@@ -90,7 +109,7 @@ func relativeTimeFigure(title string, opts Options, selected bool, window int) (
 			r.Relative[core.NoSQDelay.String()],
 			r.Relative[core.PerfectSMB.String()])
 	}
-	return tbl, rows, nil
+	return tbl, rows, sum, nil
 }
 
 func relGeoMeanRow(suite workload.Suite, rows []RelTimeRow) RelTimeRow {
@@ -136,12 +155,19 @@ func (r Figure4Row) Total() float64 { return r.CoreReads + r.BackendReads }
 // to the associative-store-queue baseline, on the paper's selected
 // benchmarks plus suite means.
 func Figure4(opts Options) (*stats.Table, []Figure4Row, error) {
+	tbl, rows, _, err := figure4(context.Background(), opts)
+	return tbl, rows, err
+}
+
+func figure4(ctx context.Context, opts Options) (*stats.Table, []Figure4Row, sweepSummary, error) {
+	opts.scope = "fig4"
 	benchmarks := defaultBenchmarks(opts, true)
 	cfgs := kindConfigs([]core.ConfigKind{core.Baseline, core.NoSQDelay}, 0)
-	runs, err := runMatrix(benchmarks, cfgs, opts.Iterations, opts.workers())
+	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sum, err
 	}
+	benchmarks = completeOnly(benchmarks, runs, len(cfgs), &sum)
 
 	var rows []Figure4Row
 	bySuite := orderedBySuite(benchmarks)
@@ -184,7 +210,7 @@ func Figure4(opts Options) (*stats.Table, []Figure4Row, error) {
 	for _, r := range rows {
 		tbl.AddRow(r.Benchmark, r.CoreReads, r.BackendReads, r.Total())
 	}
-	return tbl, rows, nil
+	return tbl, rows, sum, nil
 }
 
 // SensitivityRow is one benchmark's series in Figure 5: execution time
@@ -202,6 +228,12 @@ type SensitivityRow struct {
 // (with delay) to the bypassing predictor's capacity — 512, 1K, 2K (default),
 // 4K entries and an unbounded predictor.
 func Figure5Capacity(opts Options) (*stats.Table, []SensitivityRow, error) {
+	tbl, rows, _, err := figure5Capacity(context.Background(), opts)
+	return tbl, rows, err
+}
+
+func figure5Capacity(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, sweepSummary, error) {
+	opts.scope = "fig5cap"
 	variants := []struct {
 		label   string
 		entries int
@@ -218,13 +250,19 @@ func Figure5Capacity(opts Options) (*stats.Table, []SensitivityRow, error) {
 		cfgs[label] = cfg
 		labels = append(labels, label)
 	}
-	return sensitivity("Figure 5 (top): bypassing predictor capacity sensitivity", opts, cfgs, labels)
+	return sensitivity(ctx, "Figure 5 (top): bypassing predictor capacity sensitivity", opts, cfgs, labels)
 }
 
 // Figure5History reproduces the bottom half of Figure 5: sensitivity to the
 // number of path-history bits (4, 6, 8, 10, 12) for the default 2K-entry
 // predictor and for an unbounded predictor.
 func Figure5History(opts Options) (*stats.Table, []SensitivityRow, error) {
+	tbl, rows, _, err := figure5History(context.Background(), opts)
+	return tbl, rows, err
+}
+
+func figure5History(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, sweepSummary, error) {
+	opts.scope = "fig5hist"
 	bits := []int{4, 6, 8, 10, 12}
 	cfgs := kindConfigs([]core.ConfigKind{core.IdealBaseline}, 0)
 	var labels []string
@@ -244,18 +282,19 @@ func Figure5History(opts Options) (*stats.Table, []SensitivityRow, error) {
 		cfgs[labelInf] = unb
 		labels = append(labels, labelInf)
 	}
-	return sensitivity("Figure 5 (bottom): path-history length sensitivity", opts, cfgs, labels)
+	return sensitivity(ctx, "Figure 5 (bottom): path-history length sensitivity", opts, cfgs, labels)
 }
 
 // sensitivity runs the ideal baseline plus a set of NoSQ variants on the
 // selected benchmarks and reports execution time relative to the ideal
 // baseline, with per-suite geometric means.
-func sensitivity(title string, opts Options, cfgs map[string]pipeline.Config, labels []string) (*stats.Table, []SensitivityRow, error) {
+func sensitivity(ctx context.Context, title string, opts Options, cfgs map[string]pipeline.Config, labels []string) (*stats.Table, []SensitivityRow, sweepSummary, error) {
 	benchmarks := defaultBenchmarks(opts, true)
-	runs, err := runMatrix(benchmarks, cfgs, opts.Iterations, opts.workers())
+	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sum, err
 	}
+	benchmarks = completeOnly(benchmarks, runs, len(cfgs), &sum)
 
 	var rows []SensitivityRow
 	bySuite := orderedBySuite(benchmarks)
@@ -294,5 +333,5 @@ func sensitivity(title string, opts Options, cfgs map[string]pipeline.Config, la
 		}
 		tbl.AddRow(cells...)
 	}
-	return tbl, rows, nil
+	return tbl, rows, sum, nil
 }

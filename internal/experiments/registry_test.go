@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, e := range All() {
+		if e.Description() == "" {
+			t.Errorf("%s: empty description", e.Name())
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("table5")
+	if err != nil || e.Name() != "table5" {
+		t.Fatalf("Lookup(table5) = %v, %v", e, err)
+	}
+	if _, err := Lookup("fig9"); err == nil || !strings.Contains(err.Error(), "sweep") {
+		t.Errorf("unknown lookup should list known experiments, got %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register(funcExperiment{name: "table5"})
+}
+
+// TestEveryExperimentRendersEveryFormat runs each registered experiment on a
+// minimal workload and renders its report in all four formats — the
+// acceptance criterion for the registry + report layer.
+func TestEveryExperimentRendersEveryFormat(t *testing.T) {
+	opts := Options{Iterations: 25, Benchmarks: []string{"gzip", "g721.e"}, Parallelism: 4}
+	for _, e := range All() {
+		rep, err := e.Run(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if rep.Experiment != e.Name() {
+			t.Errorf("report names %q, want %q", rep.Experiment, e.Name())
+		}
+		if rep.Table.NumRows() == 0 {
+			t.Errorf("%s: empty table", e.Name())
+		}
+		for _, format := range stats.Formats() {
+			out, err := rep.Render(format)
+			if err != nil {
+				t.Errorf("%s/%s: %v", e.Name(), format, err)
+				continue
+			}
+			if !strings.Contains(out, "gzip") {
+				t.Errorf("%s/%s rendering missing benchmark name:\n%s", e.Name(), format, out)
+			}
+		}
+		// The JSON rendering must be a valid document carrying the metadata.
+		out, err := rep.Render(stats.FormatJSON)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		var doc struct {
+			Experiment string            `json:"experiment"`
+			Meta       map[string]string `json:"meta"`
+		}
+		if err := json.Unmarshal([]byte(out), &doc); err != nil {
+			t.Errorf("%s: JSON rendering does not parse: %v", e.Name(), err)
+		} else if doc.Experiment != e.Name() || doc.Meta["jobs"] == "" {
+			t.Errorf("%s: JSON document = %+v", e.Name(), doc)
+		}
+	}
+}
+
+// TestReportRenderGolden pins the exact shape of every Report rendering with
+// a hand-built report (no simulation, fully deterministic).
+func TestReportRenderGolden(t *testing.T) {
+	tbl := stats.NewTable("Golden: report shape", "benchmark", "config", "IPC")
+	tbl.AddRow("gzip", "nosq-delay", 0.75)
+	tbl.AddRow("applu", "perfect-smb", 0.5260271)
+	rep := &Report{Experiment: "golden", Table: tbl}
+	rep.AddMeta("jobs", 2)
+	rep.AddMeta("executed", 2)
+
+	for _, format := range stats.Formats() {
+		got, err := rep.Render(format)
+		if err != nil {
+			t.Fatalf("Render(%s): %v", format, err)
+		}
+		path := filepath.Join("testdata", "report."+format+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run `go test ./internal/experiments -update`): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", format, got, want)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// sweepJob is one (benchmark, configuration) simulation in a sweep's
+// deterministic job list. index is the job's position in the full list and
+// decides which shard owns it.
+type sweepJob struct {
+	index     int
+	benchmark string
+	key       string
+	cfg       pipeline.Config
+}
+
+// sweepSummary describes how a sweep's job list was disposed of.
+type sweepSummary struct {
+	// Total is the size of the full (benchmark × configuration) grid.
+	Total int
+	// Executed counts jobs simulated by this process.
+	Executed int
+	// Resumed counts jobs loaded from the checkpoint file instead of re-run.
+	Resumed int
+	// SkippedShard counts jobs belonging to other shards.
+	SkippedShard int
+	// Failed counts jobs whose simulation returned an error.
+	Failed int
+	// Incomplete counts benchmarks dropped from a table/figure presentation
+	// because shard selection left them without a full configuration set.
+	Incomplete int
+}
+
+// checkpointEntry is one finished job, one JSON line of the checkpoint file.
+// Experiment scopes the entry so a file shared across experiments cannot
+// serve one experiment's runs to another, and Iterations pins the workload
+// length so a resume under a different -iters re-runs instead of silently
+// serving stale measurements.
+type checkpointEntry struct {
+	Experiment string    `json:"experiment,omitempty"`
+	Iterations int       `json:"iterations,omitempty"`
+	Benchmark  string    `json:"benchmark"`
+	Config     string    `json:"config"`
+	Run        stats.Run `json:"run"`
+}
+
+func pairKey(scope string, iterations int, benchmark, config string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s\x00%s", scope, iterations, benchmark, config)
+}
+
+// loadCheckpoint reads a JSONL checkpoint file into a (scope, benchmark,
+// config) → Run map. A missing file is an empty checkpoint. Malformed lines
+// (e.g. a line truncated when the writing process was killed) are skipped,
+// so a checkpoint is usable after any interruption.
+func loadCheckpoint(path string) (map[string]stats.Run, error) {
+	done := make(map[string]stats.Run)
+	if path == "" {
+		return done, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return done, nil
+		}
+		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		done[pairKey(e.Experiment, e.Iterations, e.Benchmark, e.Config)] = e.Run
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+	}
+	return done, nil
+}
+
+// checkpointWriter appends finished jobs to the JSONL checkpoint file.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openCheckpoint(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: opening checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+func (w *checkpointWriter) append(e checkpointEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.f.Write(append(b, '\n'))
+	return err
+}
+
+func (w *checkpointWriter) Close() error { return w.f.Close() }
+
+// runSweep is the sweep engine behind every experiment: it runs each
+// (benchmark, configuration) pair through the simulator using a worker pool,
+// generating each benchmark's program once.
+//
+// The job list is deterministic — benchmarks in the given order, configuration
+// keys sorted — which makes two things possible. First, sharding: with
+// opts.Shards > 1, only jobs whose list position i satisfies
+// i % Shards == ShardIndex are run, so independent processes (or machines) can
+// split one sweep without coordination. Second, resumption: with a checkpoint
+// file configured, every finished job is appended as one JSON line, and pairs
+// already present in the file are loaded instead of re-run. Entries are keyed
+// by (experiment scope, iterations, benchmark, configuration), so a shared
+// file never serves runs across experiments or across workload lengths;
+// shards pointed at a shared file (or at per-shard files later concatenated)
+// merge into one result set.
+//
+// Cancelling ctx stops dispatching new jobs; in-flight simulations finish,
+// are checkpointed, and runSweep returns ctx.Err().
+func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline.Config, opts Options) (map[string]map[string]stats.Run, sweepSummary, error) {
+	var sum sweepSummary
+	if opts.Shards > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards) {
+		return nil, sum, fmt.Errorf("experiments: shard index %d outside [0,%d)", opts.ShardIndex, opts.Shards)
+	}
+
+	keys := make([]string, 0, len(cfgs))
+	for k := range cfgs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	jobs := make([]sweepJob, 0, len(benchmarks)*len(keys))
+	for _, b := range benchmarks {
+		for _, k := range keys {
+			jobs = append(jobs, sweepJob{index: len(jobs), benchmark: b, key: k, cfg: cfgs[k]})
+		}
+	}
+	sum.Total = len(jobs)
+
+	out := make(map[string]map[string]stats.Run, len(benchmarks))
+	for _, b := range benchmarks {
+		out[b] = make(map[string]stats.Run, len(keys))
+	}
+
+	done, err := loadCheckpoint(opts.Checkpoint)
+	if err != nil {
+		return nil, sum, err
+	}
+	var pending []sweepJob
+	for _, j := range jobs {
+		if run, ok := done[pairKey(opts.scope, opts.Iterations, j.benchmark, j.key)]; ok {
+			out[j.benchmark][j.key] = run
+			sum.Resumed++
+			continue
+		}
+		if opts.Shards > 1 && j.index%opts.Shards != opts.ShardIndex {
+			sum.SkippedShard++
+			continue
+		}
+		pending = append(pending, j)
+	}
+	if len(pending) == 0 {
+		return out, sum, ctx.Err()
+	}
+
+	// Generate programs up front (cheap, single-threaded, deterministic),
+	// only for benchmarks that still have pending work.
+	progs := make(map[string]*program.Program, len(benchmarks))
+	for _, j := range pending {
+		if _, ok := progs[j.benchmark]; ok {
+			continue
+		}
+		p, err := workload.Generate(j.benchmark, workload.Options{Iterations: opts.Iterations})
+		if err != nil {
+			return nil, sum, err
+		}
+		progs[j.benchmark] = p
+	}
+
+	var ckpt *checkpointWriter
+	if opts.Checkpoint != "" {
+		if ckpt, err = openCheckpoint(opts.Checkpoint); err != nil {
+			return nil, sum, err
+		}
+		defer ckpt.Close()
+	}
+
+	type result struct {
+		job sweepJob
+		run stats.Run
+		err error
+	}
+	workers := opts.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	jobCh := make(chan sweepJob)
+	resCh := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				sim, err := pipeline.New(progs[j.benchmark], j.cfg)
+				if err != nil {
+					resCh <- result{job: j, err: err}
+					continue
+				}
+				run, err := sim.Run()
+				resCh <- result{job: j, run: run, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobCh)
+		for _, j := range pending {
+			select {
+			case jobCh <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	var firstErr error
+	for r := range resCh {
+		if r.err != nil {
+			sum.Failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/%s: %w", r.job.benchmark, r.job.key, r.err)
+			}
+			continue
+		}
+		out[r.job.benchmark][r.job.key] = r.run
+		sum.Executed++
+		if ckpt != nil {
+			e := checkpointEntry{Experiment: opts.scope, Iterations: opts.Iterations,
+				Benchmark: r.job.benchmark, Config: r.job.key, Run: r.run}
+			if werr := ckpt.append(e); werr != nil && firstErr == nil {
+				firstErr = werr
+			}
+			if opts.afterCheckpoint != nil {
+				opts.afterCheckpoint(sum.Executed)
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return out, sum, firstErr
+}
+
+// SweepRow is one (benchmark, configuration, window) cell of the free-form
+// sweep experiment.
+type SweepRow struct {
+	Benchmark string
+	Suite     workload.Suite
+	Config    string
+	Window    int
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+	// CommPct is the percentage of committed loads with in-window
+	// store-load communication.
+	CommPct float64
+	// Bypassed / Delayed count speculatively bypassed and delay-held loads.
+	Bypassed uint64
+	Delayed  uint64
+	// MisPer10k is bypassing mis-predictions per 10,000 committed loads.
+	MisPer10k float64
+	Flushes   uint64
+	// DCacheReads is total (core + back-end) data-cache reads.
+	DCacheReads  uint64
+	Reexecutions uint64
+}
+
+// dedup removes repeated grid values, keeping first-occurrence order, so a
+// duplicated -windows/-configs entry cannot yield duplicate rows.
+func dedup[T comparable](xs []T) []T {
+	seen := make(map[T]bool, len(xs))
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// sweepKinds resolves the sweep grid's configuration kinds (nil = all five).
+func sweepKinds(names []string) ([]core.ConfigKind, error) {
+	if len(names) == 0 {
+		return core.Kinds(), nil
+	}
+	kinds := make([]core.ConfigKind, 0, len(names))
+	for _, n := range names {
+		k, err := core.KindByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// sweepKey names one grid cell; sorting these keys preserves the
+// configuration-major, window-minor grid order within a benchmark.
+func sweepKey(kind core.ConfigKind, window int) string {
+	return fmt.Sprintf("%s@w%04d", kind, window)
+}
+
+// Sweep runs the free-form sweep experiment: every combination of
+// opts.Configs (default: all five configuration kinds) × opts.Windows
+// (default: the 128-entry window) × the benchmark set (default: the paper's
+// selected benchmarks). Unlike the table/figure experiments, a sweep has no
+// fixed presentation — it reports the raw per-run measurements, one row per
+// grid cell, and is the intended vehicle for sharded and resumable bulk runs.
+func Sweep(ctx context.Context, opts Options) (*Report, error) {
+	opts.scope = "sweep"
+	kinds, err := sweepKinds(opts.Configs)
+	if err != nil {
+		return nil, err
+	}
+	kinds = dedup(kinds)
+	windows := opts.Windows
+	if len(windows) == 0 {
+		windows = []int{128}
+	}
+	windows = dedup(windows)
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("experiments: invalid window size %d", w)
+		}
+	}
+	benchmarks := defaultBenchmarks(opts, true)
+
+	cfgs := make(map[string]pipeline.Config, len(kinds)*len(windows))
+	for _, k := range kinds {
+		for _, w := range windows {
+			cfgs[sweepKey(k, w)] = core.ConfigFor(k, w)
+		}
+	}
+	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []SweepRow
+	bySuite := orderedBySuite(benchmarks)
+	for _, suite := range suiteOrder {
+		for _, b := range bySuite[suite] {
+			for _, k := range kinds {
+				for _, w := range windows {
+					run, ok := runs[b][sweepKey(k, w)]
+					if !ok {
+						continue // another shard's job
+					}
+					rows = append(rows, SweepRow{
+						Benchmark:    b,
+						Suite:        suite,
+						Config:       k.String(),
+						Window:       w,
+						Cycles:       run.Cycles,
+						Committed:    run.Committed,
+						IPC:          run.IPC(),
+						CommPct:      run.PctInWindowComm(),
+						Bypassed:     run.BypassedLoads,
+						Delayed:      run.DelayedLoads,
+						MisPer10k:    run.MispredictsPer10kLoads(),
+						Flushes:      run.Flushes,
+						DCacheReads:  run.TotalDCacheReads(),
+						Reexecutions: run.Reexecutions,
+					})
+				}
+			}
+		}
+	}
+
+	tbl := stats.NewTable("Sweep: raw measurements per (benchmark, configuration, window)",
+		"benchmark", "suite", "config", "window", "cycles", "committed", "IPC",
+		"comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
+	for _, r := range rows {
+		tbl.AddRow(r.Benchmark, r.Suite.String(), r.Config, r.Window, r.Cycles, r.Committed,
+			r.IPC, r.CommPct, r.Bypassed, r.Delayed, r.MisPer10k, r.Flushes, r.DCacheReads, r.Reexecutions)
+	}
+
+	rep := report("sweep", tbl, rows, sum)
+	kindNames := make([]string, len(kinds))
+	for i, k := range kinds {
+		kindNames[i] = k.String()
+	}
+	windowNames := make([]string, len(windows))
+	for i, w := range windows {
+		windowNames[i] = strconv.Itoa(w)
+	}
+	rep.AddMeta("configs", strings.Join(kindNames, ","))
+	rep.AddMeta("windows", strings.Join(windowNames, ","))
+	rep.AddMeta("benchmarks", len(benchmarks))
+	if opts.Shards > 1 {
+		rep.AddMeta("shard", fmt.Sprintf("%d/%d", opts.ShardIndex, opts.Shards))
+	}
+	return rep, nil
+}

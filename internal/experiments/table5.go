@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -30,12 +32,19 @@ type Table5Row struct {
 // Table5 reproduces Table 5: store-load communication behaviour and
 // bypassing-predictor accuracy, per benchmark plus per-suite averages.
 func Table5(opts Options) (*stats.Table, []Table5Row, error) {
+	tbl, rows, _, err := table5(context.Background(), opts)
+	return tbl, rows, err
+}
+
+func table5(ctx context.Context, opts Options) (*stats.Table, []Table5Row, sweepSummary, error) {
+	opts.scope = "table5"
 	benchmarks := defaultBenchmarks(opts, false)
 	cfgs := kindConfigs([]core.ConfigKind{core.NoSQNoDelay, core.NoSQDelay}, 0)
-	runs, err := runMatrix(benchmarks, cfgs, opts.Iterations, opts.workers())
+	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sum, err
 	}
+	benchmarks = completeOnly(benchmarks, runs, len(cfgs), &sum)
 
 	var rows []Table5Row
 	bySuite := orderedBySuite(benchmarks)
@@ -72,7 +81,7 @@ func Table5(opts Options) (*stats.Table, []Table5Row, error) {
 		}
 		tbl.AddRow(name, r.CommPct, r.PartialPct, r.MisPer10kNoDelay, r.MisPer10kDelay, r.PctDelayed)
 	}
-	return tbl, rows, nil
+	return tbl, rows, sum, nil
 }
 
 func suiteMeanRow(suite workload.Suite, rows []Table5Row) Table5Row {

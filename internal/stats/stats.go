@@ -1,12 +1,17 @@
-// Package stats provides the simulation result types and the small numeric
-// helpers (geometric and arithmetic means, relative execution time) used by
-// the experiment harness to reproduce the paper's tables and figures.
+// Package stats provides the simulation result types (Run), the small
+// numeric helpers (geometric and arithmetic means, relative execution time)
+// used by the experiment harness to reproduce the paper's tables and figures,
+// and the Table report type that renders one set of structured rows as
+// paper-style text, Markdown, JSON, or CSV.
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -149,12 +154,15 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Table is a simple fixed-column text table used by the experiment harness
-// and CLI tools to print paper-style rows.
+// Table is a fixed-column report table used by the experiment harness and
+// CLI tools. It keeps both the typed cell values and their paper-style text
+// formatting, so one set of rows can be rendered as aligned text (String),
+// Markdown, JSON, or CSV.
 type Table struct {
 	Title   string
 	Columns []string
 	rows    [][]string
+	raw     [][]interface{}
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -162,7 +170,9 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row; values are formatted with %v (floats with 3 decimals).
+// AddRow appends a row; values are formatted with %v (floats with 3 decimals)
+// for the text rendering, while the raw typed values are retained for the
+// machine-readable renderings.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -176,6 +186,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.raw = append(t.raw, append([]interface{}(nil), cells...))
 }
 
 // NumRows returns the number of data rows.
@@ -231,10 +242,161 @@ func (t *Table) String() string {
 
 // SortRowsBy sorts the data rows by the given column index (string order).
 func (t *Table) SortRowsBy(col int) {
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		if col >= len(t.rows[i]) || col >= len(t.rows[j]) {
+	idx := make([]int, len(t.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		ri, rj := t.rows[idx[i]], t.rows[idx[j]]
+		if col >= len(ri) || col >= len(rj) {
 			return false
 		}
-		return t.rows[i][col] < t.rows[j][col]
+		return ri[col] < rj[col]
 	})
+	rows := make([][]string, len(t.rows))
+	raw := make([][]interface{}, len(t.raw))
+	for i, k := range idx {
+		rows[i] = t.rows[k]
+		raw[i] = t.raw[k]
+	}
+	t.rows, t.raw = rows, raw
+}
+
+// Report formats: the values accepted by Render.
+const (
+	FormatText     = "text"
+	FormatMarkdown = "markdown"
+	FormatJSON     = "json"
+	FormatCSV      = "csv"
+)
+
+// Formats returns the supported report formats.
+func Formats() []string {
+	return []string{FormatText, FormatMarkdown, FormatJSON, FormatCSV}
+}
+
+// ValidateFormat returns an error naming the supported formats if format is
+// not one of them. CLIs call it before running anything expensive.
+func ValidateFormat(format string) error {
+	for _, f := range Formats() {
+		if f == format {
+			return nil
+		}
+	}
+	return fmt.Errorf("stats: unknown report format %q (want one of %s)",
+		format, strings.Join(Formats(), ", "))
+}
+
+// Render renders the table in the named format (see Formats).
+func (t *Table) Render(format string) (string, error) {
+	switch format {
+	case FormatText:
+		return t.String(), nil
+	case FormatMarkdown:
+		return t.Markdown(), nil
+	case FormatJSON:
+		b, err := t.JSON()
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	case FormatCSV:
+		return t.CSV(), nil
+	default:
+		return "", ValidateFormat(format)
+	}
+}
+
+// rawString formats a raw cell for the machine-readable renderings: floats
+// keep full precision instead of the text table's fixed 3 decimals.
+func rawString(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(v), 'g', -1, 32)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown pipe table, with
+// the title as a heading.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	escape := func(s string) string {
+		return strings.ReplaceAll(s, "|", "\\|")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(escape(c))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 CSV: one header row of column names
+// followed by the data rows at full numeric precision. The title is not
+// part of the CSV output.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(t.Columns)
+	for _, row := range t.raw {
+		rec := make([]string, len(row))
+		for i, c := range row {
+			rec[i] = rawString(c)
+		}
+		w.Write(rec)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// RowMaps returns each data row as a column-name → typed-value map, the shape
+// used by the JSON rendering.
+func (t *Table) RowMaps() []map[string]interface{} {
+	out := make([]map[string]interface{}, len(t.raw))
+	for i, row := range t.raw {
+		m := make(map[string]interface{}, len(row))
+		for j, c := range row {
+			if j < len(t.Columns) {
+				m[t.Columns[j]] = c
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// JSON renders the table as an indented JSON document:
+//
+//	{"title": ..., "columns": [...], "rows": [{column: value, ...}, ...]}
+//
+// Row objects map column names to the typed cell values (numbers stay
+// numbers), and encoding/json's sorted map keys make the output
+// deterministic.
+func (t *Table) JSON() ([]byte, error) {
+	doc := struct {
+		Title   string                   `json:"title"`
+		Columns []string                 `json:"columns"`
+		Rows    []map[string]interface{} `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.RowMaps()}
+	return json.MarshalIndent(doc, "", "  ")
 }
