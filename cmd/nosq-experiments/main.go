@@ -62,10 +62,14 @@ func main() {
 		return
 	}
 
-	// Reject a bad -format before running anything — experiments can take
+	// Reject bad flag values before running anything — experiments can take
 	// minutes, and their output would be lost.
 	if err := stats.ValidateFormat(*format); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "-parallel must be non-negative (0 = GOMAXPROCS), got %d\n", *parallel)
 		os.Exit(2)
 	}
 

@@ -13,9 +13,15 @@
 // regenerate Table 5 and Figures 2-5 of the paper as text, Markdown, JSON,
 // or CSV, with sharded and checkpoint-resumable sweeps.
 //
-// The command-line drivers are cmd/nosqsim (one simulation) and
-// cmd/nosq-experiments (the experiment registry). See README.md for a tour
-// and quickstart, and DESIGN.md for the system inventory and the NoSQ vs.
+// Simulation throughput is measured by the perf harness (perf), which runs a
+// pinned benchmark grid over shared recorded traces (emu.Trace +
+// pipeline.NewFromTrace) and emits BENCH_<rev>.json documents that CI gates
+// against the committed baseline under bench/.
+//
+// The command-line drivers are cmd/nosqsim (one simulation),
+// cmd/nosq-experiments (the experiment registry), and cmd/nosq-bench (the
+// perf harness). See README.md for a tour, quickstart, and the performance
+// methodology, and DESIGN.md for the system inventory and the NoSQ vs.
 // conventional pipeline data flow.
 //
 // This root package holds the repository-level benchmark harness

@@ -71,6 +71,7 @@ type Cache struct {
 	cfg      Config
 	sets     [][]line
 	lineBits uint
+	setBits  uint
 	setMask  uint64
 	counter  uint64
 	stats    Stats
@@ -92,6 +93,7 @@ func New(cfg Config) *Cache {
 		cfg:      cfg,
 		sets:     sets,
 		lineBits: log2(uint64(cfg.LineBytes)),
+		setBits:  log2(uint64(numSets)),
 		setMask:  uint64(numSets - 1),
 	}
 }
@@ -116,7 +118,7 @@ func (c *Cache) NumSets() int { return len(c.sets) }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr >> c.lineBits
-	return blk & c.setMask, blk >> log2(uint64(len(c.sets)))
+	return blk & c.setMask, blk >> c.setBits
 }
 
 // Access performs a lookup for addr. write marks the line dirty on a store.

@@ -119,6 +119,36 @@ type byteSource struct {
 	fp   bool
 }
 
+// writerTable is the paged per-byte last-writer map backing the dependence
+// oracle. Its paged layout (mem.PagedTable) makes the per-byte updates and
+// lookups on the emulation hot path cost one page probe per page crossing
+// instead of one map probe per byte.
+type writerTable struct {
+	pages mem.PagedTable[[mem.PageSize]byteSource]
+}
+
+// record marks src as the last writer of size bytes starting at addr.
+func (t *writerTable) record(addr uint64, size uint8, src byteSource) {
+	for i := uint64(0); i < uint64(size); i++ {
+		a := addr + i
+		t.pages.Page(a, true)[a&(mem.PageSize-1)] = src
+	}
+}
+
+// lookup returns the last writer of addr, or nil if the byte was never
+// written by a tracked store.
+func (t *writerTable) lookup(addr uint64) *byteSource {
+	p := t.pages.Page(addr, false)
+	if p == nil {
+		return nil
+	}
+	src := &p[addr&(mem.PageSize-1)]
+	if src.ssn == 0 {
+		return nil
+	}
+	return src
+}
+
 // Emulator executes a program in program order.
 type Emulator struct {
 	prog   *program.Program
@@ -129,11 +159,18 @@ type Emulator struct {
 	ssn    uint64
 	halted bool
 	// lastWriter tracks, per byte address, the most recent store to write it.
-	lastWriter map[uint64]byteSource
+	lastWriter writerTable
+
+	// dynChunk amortises DynInst allocation for Step: records are carved out
+	// of fixed-size blocks instead of being heap-allocated one by one.
+	dynChunk []DynInst
 
 	// MaxInsts bounds execution; Step returns ErrLimit beyond it.
 	MaxInsts uint64
 }
+
+// dynChunkSize is the number of DynInst records allocated at once by Step.
+const dynChunkSize = 1024
 
 // ErrLimit is returned by Step when the instruction limit is exceeded,
 // protecting against runaway programs.
@@ -146,11 +183,10 @@ var ErrHalted = errors.New("emu: program halted")
 // data from the program is installed and the stack pointer is initialised.
 func New(p *program.Program) *Emulator {
 	e := &Emulator{
-		prog:       p,
-		mem:        mem.New(),
-		pc:         p.Entry,
-		lastWriter: make(map[uint64]byteSource),
-		MaxInsts:   100_000_000,
+		prog:     p,
+		mem:      mem.New(),
+		pc:       p.Entry,
+		MaxInsts: 100_000_000,
 	}
 	for _, d := range p.InitData {
 		e.mem.Write(d.Addr, d.Size, d.Value)
@@ -203,20 +239,37 @@ func (e *Emulator) writeReg(r isa.Reg, v uint64) {
 	}
 }
 
-// Step executes one instruction and returns its dynamic record.
+// Step executes one instruction and returns its dynamic record. Records are
+// carved out of chunked backing arrays, so a chunk is released to the garbage
+// collector only once every record in it is unreachable.
 func (e *Emulator) Step() (*DynInst, error) {
+	if len(e.dynChunk) == 0 {
+		e.dynChunk = make([]DynInst, dynChunkSize)
+	}
+	d := &e.dynChunk[0]
+	if err := e.StepInto(d); err != nil {
+		return nil, err
+	}
+	e.dynChunk = e.dynChunk[1:]
+	return d, nil
+}
+
+// StepInto executes one instruction, writing its dynamic record into d. It is
+// the allocation-free core of Step, used by trace recording and by consumers
+// that reuse a scratch record.
+func (e *Emulator) StepInto(d *DynInst) error {
 	if e.halted {
-		return nil, ErrHalted
+		return ErrHalted
 	}
 	if e.seq >= e.MaxInsts {
-		return nil, ErrLimit
+		return ErrLimit
 	}
 	in := e.prog.At(e.pc)
 	if in == nil {
-		return nil, fmt.Errorf("emu: pc %#x outside program %q", e.pc, e.prog.Name)
+		return fmt.Errorf("emu: pc %#x outside program %q", e.pc, e.prog.Name)
 	}
 	e.seq++
-	d := &DynInst{
+	*d = DynInst{
 		Seq:       e.seq,
 		Static:    in,
 		PC:        in.PC,
@@ -256,10 +309,8 @@ func (e *Emulator) Step() (*DynInst, error) {
 		e.ssn++
 		d.StoreSSN = e.ssn
 		e.mem.Write(addr, int(in.MemSize), stored)
-		src := byteSource{ssn: e.ssn, seq: e.seq, pc: in.PC, addr: addr, size: in.MemSize, fp: in.FPConv}
-		for i := uint64(0); i < uint64(in.MemSize); i++ {
-			e.lastWriter[addr+i] = src
-		}
+		e.lastWriter.record(addr, in.MemSize,
+			byteSource{ssn: e.ssn, seq: e.seq, pc: in.PC, addr: addr, size: in.MemSize, fp: in.FPConv})
 
 	case isa.OpBranch:
 		v := e.readReg(in.Src1)
@@ -285,11 +336,11 @@ func (e *Emulator) Step() (*DynInst, error) {
 		d.NextPC = target
 
 	default:
-		return nil, fmt.Errorf("emu: unknown op %v at pc %#x", in.Op, in.PC)
+		return fmt.Errorf("emu: unknown op %v at pc %#x", in.Op, in.PC)
 	}
 
 	e.pc = d.NextPC
-	return d, nil
+	return nil
 }
 
 // Run executes until halt, error, or limit instructions (whichever is first),
@@ -297,8 +348,9 @@ func (e *Emulator) Step() (*DynInst, error) {
 // fast functional warm-up and for tests that only care about final state.
 func (e *Emulator) Run(limit uint64) (uint64, error) {
 	var n uint64
+	var scratch DynInst
 	for n < limit {
-		_, err := e.Step()
+		err := e.StepInto(&scratch)
 		if errors.Is(err, ErrHalted) {
 			return n, nil
 		}
@@ -397,19 +449,28 @@ func (e *Emulator) resolveDependence(addr uint64, size uint8) Dependence {
 	var youngest byteSource
 	sources := 0
 	uncovered := false
-	seen := make(map[uint64]bool, size)
+	// Accesses are at most 8 bytes, so the distinct source SSNs fit in a
+	// fixed array; no per-load allocation.
+	var seen [8]uint64
 	for i := uint64(0); i < uint64(size); i++ {
-		src, ok := e.lastWriter[addr+i]
-		if !ok {
+		src := e.lastWriter.lookup(addr + i)
+		if src == nil {
 			uncovered = true
 			continue
 		}
-		if !seen[src.ssn] {
-			seen[src.ssn] = true
+		known := false
+		for j := 0; j < sources; j++ {
+			if seen[j] == src.ssn {
+				known = true
+				break
+			}
+		}
+		if !known {
+			seen[sources] = src.ssn
 			sources++
 		}
 		if src.ssn > youngest.ssn {
-			youngest = src
+			youngest = *src
 		}
 	}
 	if sources == 0 {

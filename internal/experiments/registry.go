@@ -209,6 +209,9 @@ func report(name string, tbl *stats.Table, rows interface{}, sum sweepSummary) *
 	if sum.Incomplete > 0 {
 		r.AddMeta("benchmarks-dropped-incomplete", sum.Incomplete)
 	}
+	if sum.CorruptCheckpoint > 0 {
+		r.AddMeta("checkpoint-corrupt-lines", sum.CorruptCheckpoint)
+	}
 	return r
 }
 

@@ -13,11 +13,74 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/pipeline"
 	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// traceCache hands out each benchmark's recorded dynamic instruction trace.
+// The functional execution of a benchmark is identical under every machine
+// configuration, so a sweep records it once and shares it read-only across
+// all concurrent simulations of that benchmark. Entries are reference-counted
+// by pending job, so a long sweep holds only the traces it is actively
+// simulating instead of one per benchmark.
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+	left    map[string]int // pending jobs per benchmark
+}
+
+type traceEntry struct {
+	once   sync.Once
+	record func()
+	trace  *emu.Trace
+	err    error
+}
+
+func newTraceCache(progs map[string]*program.Program, pending []sweepJob) *traceCache {
+	c := &traceCache{
+		entries: make(map[string]*traceEntry, len(progs)),
+		left:    make(map[string]int, len(progs)),
+	}
+	for b := range progs {
+		prog := progs[b]
+		e := &traceEntry{}
+		// The record closure runs inside once.Do on first use, so workers
+		// that share a benchmark block until its trace exists and record it
+		// exactly once.
+		e.record = func() { e.trace, e.err = emu.RecordTrace(prog, 0) }
+		c.entries[b] = e
+	}
+	for _, j := range pending {
+		c.left[j.benchmark]++
+	}
+	return c
+}
+
+// get returns the benchmark's shared trace, recording it on first use.
+func (c *traceCache) get(benchmark string) (*emu.Trace, error) {
+	c.mu.Lock()
+	e := c.entries[benchmark]
+	c.mu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("experiments: no trace entry for benchmark %q", benchmark)
+	}
+	e.once.Do(e.record)
+	return e.trace, e.err
+}
+
+// release notes that one of the benchmark's jobs finished, dropping the
+// trace when none remain.
+func (c *traceCache) release(benchmark string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left[benchmark]--; c.left[benchmark] <= 0 {
+		delete(c.entries, benchmark)
+		delete(c.left, benchmark)
+	}
+}
 
 // sweepJob is one (benchmark, configuration) simulation in a sweep's
 // deterministic job list. index is the job's position in the full list and
@@ -41,6 +104,10 @@ type sweepSummary struct {
 	SkippedShard int
 	// Failed counts jobs whose simulation returned an error.
 	Failed int
+	// CorruptCheckpoint counts checkpoint lines that could not be parsed
+	// (e.g. a line truncated when the writing process was killed). They are
+	// skipped — their jobs re-run — and surfaced as a warning.
+	CorruptCheckpoint int
 	// Incomplete counts benchmarks dropped from a table/figure presentation
 	// because shard selection left them without a full configuration set.
 	Incomplete int
@@ -65,19 +132,22 @@ func pairKey(scope string, iterations int, benchmark, config string) string {
 
 // loadCheckpoint reads a JSONL checkpoint file into a (scope, benchmark,
 // config) → Run map. A missing file is an empty checkpoint. Malformed lines
-// (e.g. a line truncated when the writing process was killed) are skipped,
-// so a checkpoint is usable after any interruption.
-func loadCheckpoint(path string) (map[string]stats.Run, error) {
-	done := make(map[string]stats.Run)
+// (e.g. a line truncated when the writing process was killed, or one missing
+// its identifying fields) are skipped so a checkpoint stays usable after any
+// interruption; corrupt counts them so callers can warn — a silently
+// shrinking checkpoint would otherwise look like completed work re-running
+// for no reason.
+func loadCheckpoint(path string) (done map[string]stats.Run, corrupt int, err error) {
+	done = make(map[string]stats.Run)
 	if path == "" {
-		return done, nil
+		return done, 0, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return done, nil
+			return done, 0, nil
 		}
-		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+		return nil, 0, fmt.Errorf("experiments: reading checkpoint: %w", err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -88,15 +158,16 @@ func loadCheckpoint(path string) (map[string]stats.Run, error) {
 			continue
 		}
 		var e checkpointEntry
-		if err := json.Unmarshal(line, &e); err != nil {
+		if json.Unmarshal(line, &e) != nil || e.Benchmark == "" || e.Config == "" {
+			corrupt++
 			continue
 		}
 		done[pairKey(e.Experiment, e.Iterations, e.Benchmark, e.Config)] = e.Run
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("experiments: reading checkpoint: %w", err)
+		return nil, corrupt, fmt.Errorf("experiments: reading checkpoint: %w", err)
 	}
-	return done, nil
+	return done, corrupt, nil
 }
 
 // checkpointWriter appends finished jobs to the JSONL checkpoint file.
@@ -169,9 +240,14 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		out[b] = make(map[string]stats.Run, len(keys))
 	}
 
-	done, err := loadCheckpoint(opts.Checkpoint)
+	done, corrupt, err := loadCheckpoint(opts.Checkpoint)
 	if err != nil {
 		return nil, sum, err
+	}
+	sum.CorruptCheckpoint = corrupt
+	if corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "warning: checkpoint %s: skipped %d corrupt line(s); the affected jobs will re-run\n",
+			opts.Checkpoint, corrupt)
 	}
 	var pending []sweepJob
 	for _, j := range jobs {
@@ -191,7 +267,9 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 	}
 
 	// Generate programs up front (cheap, single-threaded, deterministic),
-	// only for benchmarks that still have pending work.
+	// only for benchmarks that still have pending work. Each benchmark's
+	// dynamic instruction trace is then recorded once, on first use, and
+	// shared read-only by every simulation of that benchmark.
 	progs := make(map[string]*program.Program, len(benchmarks))
 	for _, j := range pending {
 		if _, ok := progs[j.benchmark]; ok {
@@ -203,6 +281,7 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		}
 		progs[j.benchmark] = p
 	}
+	traces := newTraceCache(progs, pending)
 
 	var ckpt *checkpointWriter
 	if opts.Checkpoint != "" {
@@ -229,12 +308,21 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				sim, err := pipeline.New(progs[j.benchmark], j.cfg)
-				if err != nil {
-					resCh <- result{job: j, err: err}
-					continue
-				}
-				run, err := sim.Run()
+				run, err := func() (stats.Run, error) {
+					// Release counts finished jobs — including failed ones —
+					// so a benchmark's trace is always dropped when its last
+					// job ends.
+					defer traces.release(j.benchmark)
+					tr, err := traces.get(j.benchmark)
+					if err != nil {
+						return stats.Run{}, err
+					}
+					sim, err := pipeline.NewFromTrace(tr, j.cfg)
+					if err != nil {
+						return stats.Run{}, err
+					}
+					return sim.Run()
+				}()
 				resCh <- result{job: j, run: run, err: err}
 			}
 		}()

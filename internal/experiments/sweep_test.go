@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -354,5 +355,66 @@ func TestSweepDeterministicOrdering(t *testing.T) {
 	}
 	if !reflect.DeepEqual(pairSets[0], pairSets[1]) || !reflect.DeepEqual(pairSets[1], pairSets[2]) {
 		t.Errorf("shard job selection varies across runs: %v", pairSets)
+	}
+}
+
+// TestSweepCorruptCheckpointLines: a checkpoint holding truncated or
+// otherwise malformed JSONL lines (the writing process was killed mid-line)
+// must not abort or poison a resume. Corrupt lines are counted and skipped —
+// their jobs re-run — while intact lines still resume.
+func TestSweepCorruptCheckpointLines(t *testing.T) {
+	benchmarks := []string{"gzip", "applu"}
+	cfgs := kindConfigs([]core.ConfigKind{core.Baseline, core.NoSQDelay}, 0)
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	opts := Options{Iterations: 25, Parallelism: 2, Checkpoint: ck}
+
+	first, sum1, err := runSweep(context.Background(), benchmarks, cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1.Executed != 4 || sum1.CorruptCheckpoint != 0 {
+		t.Fatalf("first run summary = %+v", sum1)
+	}
+
+	// Corrupt the file: truncate the last line mid-JSON (as a kill during a
+	// write would), and splice in garbage plus a valid-JSON line missing its
+	// identifying fields.
+	b, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(b, []byte("\n")), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("checkpoint has %d lines, want 4", len(lines))
+	}
+	truncated := lines[3][:len(lines[3])/2]
+	corrupted := bytes.Join([][]byte{
+		lines[0],
+		[]byte("{not json at all"),
+		lines[1],
+		[]byte(`{"run":{"cycles":12}}`), // parses, but has no benchmark/config
+		lines[2],
+		truncated,
+	}, []byte("\n"))
+	corrupted = append(corrupted, '\n')
+	if err := os.WriteFile(ck, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second, sum2, err := runSweep(context.Background(), benchmarks, cfgs, opts)
+	if err != nil {
+		t.Fatalf("resume over corrupt checkpoint failed: %v", err)
+	}
+	if sum2.CorruptCheckpoint != 3 {
+		t.Errorf("CorruptCheckpoint = %d, want 3 (garbage, fieldless, truncated)", sum2.CorruptCheckpoint)
+	}
+	if sum2.Resumed != 3 {
+		t.Errorf("Resumed = %d, want the 3 intact pairs", sum2.Resumed)
+	}
+	if sum2.Executed != 1 {
+		t.Errorf("Executed = %d, want 1 (the pair whose line was truncated)", sum2.Executed)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("results after corrupt-checkpoint resume differ from the original run")
 	}
 }

@@ -19,34 +19,17 @@ const pageMask = PageSize - 1
 // Memory is a sparse, paged, little-endian byte-addressed memory.
 // The zero value is ready to use. Memory is not safe for concurrent use.
 type Memory struct {
-	pages map[uint64]*[PageSize]byte
-	// touched counts pages allocated, exported for statistics.
-	touched int
+	pages PagedTable[[PageSize]byte]
 }
 
 // New returns an empty memory.
-func New() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
-}
+func New() *Memory { return &Memory{} }
 
 // Pages returns the number of pages that have been touched.
-func (m *Memory) Pages() int { return m.touched }
+func (m *Memory) Pages() int { return m.pages.Pages() }
 
 func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
-	if m.pages == nil {
-		if !alloc {
-			return nil
-		}
-		m.pages = make(map[uint64]*[PageSize]byte)
-	}
-	pn := addr >> PageBits
-	p := m.pages[pn]
-	if p == nil && alloc {
-		p = new([PageSize]byte)
-		m.pages[pn] = p
-		m.touched++
-	}
-	return p
+	return m.pages.Page(addr, alloc)
 }
 
 // LoadByte returns the byte at addr (0 if never written).
@@ -67,6 +50,20 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 // integer. size must be 1, 2, 4 or 8.
 func (m *Memory) Read(addr uint64, size int) uint64 {
 	checkSize(size)
+	if int(addr&pageMask)+size <= PageSize {
+		// Fast path: the access does not cross a page boundary, so one page
+		// lookup serves every byte.
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		off := addr & pageMask
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
@@ -78,6 +75,14 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 // size must be 1, 2, 4 or 8.
 func (m *Memory) Write(addr uint64, size int, v uint64) {
 	checkSize(size)
+	if int(addr&pageMask)+size <= PageSize {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
 	}

@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyRun measures a minimal grid quickly for tests.
+func tinyRun(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(Options{
+		Benchmarks: []string{"gzip"},
+		Kinds:      []core.ConfigKind{core.Baseline, core.NoSQDelay},
+		Iterations: 20,
+		Repeats:    1,
+		Revision:   "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunProducesEntriesAndSummaries(t *testing.T) {
+	res := tinyRun(t)
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.Instructions == 0 || e.Cycles == 0 {
+			t.Errorf("%s/%s: empty measurement %+v", e.Benchmark, e.Config, e)
+		}
+		if e.InstsPerSec <= 0 || e.NsPerCycle <= 0 {
+			t.Errorf("%s/%s: non-positive rates %+v", e.Benchmark, e.Config, e)
+		}
+	}
+	if len(res.Configs) != 2 {
+		t.Fatalf("config summaries = %d, want 2", len(res.Configs))
+	}
+	if res.OverallInstsPerSec <= 0 {
+		t.Fatalf("overall throughput = %v, want > 0", res.OverallInstsPerSec)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	res := tinyRun(t)
+	path := filepath.Join(t.TempDir(), FileName(res.Revision))
+	if err := WriteFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Revision != res.Revision || len(got.Entries) != len(res.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, res)
+	}
+}
+
+func TestReadFileRejectsUnknownSchema(t *testing.T) {
+	res := tinyRun(t)
+	res.Schema = Schema + 1
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Result{
+		Schema:             Schema,
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 1000}, {Config: "b", InstsPerSec: 1000}},
+		OverallInstsPerSec: 1000,
+	}
+	cur := &Result{
+		Schema:             Schema,
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 700}, {Config: "b", InstsPerSec: 950}},
+		OverallInstsPerSec: 815,
+	}
+	regs := Compare(base, cur, 20)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the 30%% drop on config a", regs)
+	}
+	if regs[0].Config != "a" || regs[0].Metric != "insts/sec" {
+		t.Fatalf("regression = %+v, want insts/sec on config a", regs[0])
+	}
+
+	// A faster current result never regresses.
+	if regs := Compare(cur, base, 20); len(regs) != 0 {
+		t.Fatalf("speed-up flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocationGrowth(t *testing.T) {
+	base := &Result{
+		Schema:             Schema,
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 1000, AllocsPerKInst: 50}},
+		OverallInstsPerSec: 1000,
+	}
+	cur := &Result{
+		Schema:             Schema,
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 1000, AllocsPerKInst: 200}},
+		OverallInstsPerSec: 1000,
+	}
+	regs := Compare(base, cur, 20)
+	if len(regs) != 1 || regs[0].Metric != "allocs/kinst" {
+		t.Fatalf("regressions = %v, want the 4x allocs/kinst growth", regs)
+	}
+	// Small absolute growth on near-zero counts is within the slack.
+	cur.Configs[0].AllocsPerKInst = base.Configs[0].AllocsPerKInst*1.5 + 0.5
+	if regs := Compare(base, cur, 20); len(regs) != 0 {
+		t.Fatalf("alloc growth within slack flagged: %v", regs)
+	}
+}
+
+func TestCompareSkipsMissingConfigs(t *testing.T) {
+	base := &Result{Schema: Schema, Configs: []ConfigSummary{{Config: "gone", InstsPerSec: 1000}}}
+	cur := &Result{Schema: Schema, Configs: []ConfigSummary{{Config: "new", InstsPerSec: 10}}}
+	if regs := Compare(base, cur, 20); len(regs) != 0 {
+		t.Fatalf("mismatched config sets should not regress: %v", regs)
+	}
+}
+
+func TestComparableRejectsMismatchedSettings(t *testing.T) {
+	a := &Result{Schema: Schema, Iterations: 120, Window: 128, Benchmarks: []string{"gzip", "applu"}}
+	if err := Comparable(a, a); err != nil {
+		t.Fatalf("identical settings rejected: %v", err)
+	}
+	b := *a
+	b.Iterations = 40
+	if err := Comparable(a, &b); err == nil {
+		t.Error("differing iterations accepted")
+	}
+	b = *a
+	b.Window = 256
+	if err := Comparable(a, &b); err == nil {
+		t.Error("differing window accepted")
+	}
+	b = *a
+	b.Benchmarks = []string{"gzip"}
+	if err := Comparable(a, &b); err == nil {
+		t.Error("differing benchmark sets accepted")
+	}
+	b = *a
+	b.Configs = []ConfigSummary{{Config: "nosq-delay"}}
+	if err := Comparable(a, &b); err == nil {
+		t.Error("differing configuration sets accepted")
+	}
+}

@@ -16,11 +16,11 @@ const flushRecoveryBubble = 3
 // back-end data-cache port.
 func (s *Simulator) commitEnter() {
 	for entered := 0; entered < s.cfg.CommitWidth; entered++ {
-		idx := len(s.backendQ)
-		if idx >= len(s.window) {
+		idx := s.backendQ.len()
+		if idx >= s.window.len() {
 			return
 		}
-		in := s.window[idx]
+		in := s.window.at(idx)
 		if !in.renamed || !in.completed || in.inBackend {
 			return
 		}
@@ -71,11 +71,11 @@ func (s *Simulator) enterBackend(in *inflight) {
 	}
 
 	// Retirement must remain in order.
-	if n := len(s.backendQ); n > 0 && exit < s.backendQ[n-1].exitCycle {
-		exit = s.backendQ[n-1].exitCycle
+	if s.backendQ.len() > 0 && exit < s.backendQ.back().exitCycle {
+		exit = s.backendQ.back().exitCycle
 	}
 	in.exitCycle = exit
-	s.backendQ = append(s.backendQ, in)
+	s.backendQ.pushBack(in)
 }
 
 // retire removes instructions from the back-end pipeline in order as they
@@ -83,16 +83,17 @@ func (s *Simulator) enterBackend(in *inflight) {
 // the predictors, and — when re-execution revealed a wrong load value —
 // flushing the pipeline.
 func (s *Simulator) retire() {
-	for len(s.backendQ) > 0 {
-		in := s.backendQ[0]
+	for s.backendQ.len() > 0 {
+		in := s.backendQ.front()
 		if in.exitCycle > s.now {
 			return
 		}
-		s.backendQ = s.backendQ[1:]
-		if len(s.window) == 0 || s.window[0] != in {
+		s.backendQ.popFront()
+		if s.window.len() == 0 || s.window.front() != in {
 			panic("pipeline: retire order does not match window order")
 		}
-		s.window = s.window[1:]
+		s.window.popFront()
+		s.renamedCount--
 		s.robUsed--
 		s.releaseResources(in)
 		s.histAfterRetired = in.histAfter
@@ -110,10 +111,16 @@ func (s *Simulator) retire() {
 			flush = s.retireLoad(in)
 		}
 
+		// The record is now reachable from neither the window nor the
+		// back-end queue; recycle it before a potential squash so the pool
+		// sees it ahead of the squash victims.
+		seq := in.seq
+		s.recycle(in)
+
 		if flush {
 			// Value mis-speculation recovery: squash all younger work and
 			// restart fetch after a short recovery bubble (state repair).
-			s.squash(in.seq, s.now+flushRecoveryBubble)
+			s.squash(seq, s.now+flushRecoveryBubble)
 			return
 		}
 	}

@@ -1,32 +1,35 @@
 package pipeline
 
+import (
+	"cmp"
+	"slices"
+)
+
 // issue selects up to IssueWidth ready instructions per cycle, oldest first,
 // subject to per-class port limits, and begins their execution.
 func (s *Simulator) issue() {
-	ports := map[portClass]int{
-		portSimple:  s.cfg.SimpleIntPorts,
-		portComplex: s.cfg.ComplexPorts,
-		portBranch:  s.cfg.BranchPorts,
-		portLoad:    s.cfg.LoadPorts,
-		portStore:   s.cfg.StorePorts,
-	}
+	// Per-class port budgets in a fixed array (indexed by portClass); a map
+	// here would allocate every cycle.
+	var ports [portNone + 1]int
+	ports[portSimple] = s.cfg.SimpleIntPorts
+	ports[portComplex] = s.cfg.ComplexPorts
+	ports[portBranch] = s.cfg.BranchPorts
+	ports[portLoad] = s.cfg.LoadPorts
+	ports[portStore] = s.cfg.StorePorts
 	issued := 0
-	for _, in := range s.window {
+	// Select oldest-first over the scheduler's occupants; the IQ list is in
+	// seq order and holds exactly the renamed, un-issued IQ holders.
+	for in := s.iqHead; in != nil; {
 		if issued >= s.cfg.IssueWidth {
 			return
 		}
-		if !in.renamed || !in.inIQ || in.issued || in.completed {
-			continue
+		next := in.nextIQ
+		if ports[in.port] > 0 && s.ready(in) {
+			s.doIssue(in) // unlinks in from the IQ list
+			ports[in.port]--
+			issued++
 		}
-		if ports[in.port] <= 0 {
-			continue
-		}
-		if !s.ready(in) {
-			continue
-		}
-		s.doIssue(in)
-		ports[in.port]--
-		issued++
+		in = next
 	}
 	if issued == 0 {
 		s.res.IdleIssueCycles++
@@ -83,6 +86,7 @@ func (s *Simulator) doIssue(in *inflight) {
 	if in.holdsIQ {
 		s.iqUsed--
 		in.holdsIQ = false
+		s.iqRemove(in)
 	}
 	st := in.dyn.Static
 	switch {
@@ -96,6 +100,7 @@ func (s *Simulator) doIssue(in *inflight) {
 	default:
 		in.completeCycle = s.now + uint64(st.ExecLatency())
 	}
+	s.scheduleCompletion(in)
 }
 
 // resolveLoadValue determines, from the oracle dependence information,
@@ -148,42 +153,61 @@ func (s *Simulator) resolveLoadValue(in *inflight) {
 // and data in the store queue as soon as both operands have been produced
 // (the store queue captures them at producer writeback; stores do not consume
 // scheduler entries or issue slots).
+//
+// Issued instructions complete through scheduled events (bucketed by cycle)
+// and conventional stores through the pending-store list, so the pass costs
+// O(completions + in-flight stores) instead of O(window) per cycle. Events
+// are processed in seq order, and producers are always older than their
+// consumers, so the observable update order matches the window scan this
+// replaces.
 func (s *Simulator) complete() {
-	for _, in := range s.window {
-		if !in.renamed || in.completed {
-			continue
-		}
-		if in.isStore() && s.cfg.LSQ == LSQAssociative {
-			if s.producerDone(in.srcSeqs[0]) && s.producerDone(in.srcSeqs[1]) {
-				in.completed = true
-				in.completeCycle = s.now
+	bucket := &s.compBuckets[s.now&s.compMask]
+	if events := *bucket; len(events) > 0 {
+		slices.SortFunc(events, func(a, b compEvent) int {
+			return cmp.Compare(a.seq, b.seq)
+		})
+		for _, ev := range events {
+			in := ev.in
+			if in.gen != ev.gen || !in.issued || in.completed {
+				continue // the occupant was squashed; the event is stale
+			}
+			in.completed = true
+			st := in.dyn.Static
+			switch {
+			case in.isStore():
 				in.storeExecuted = true
-				s.ss.StoreCompleted(in.dyn.Static.PC, in.ssn)
-			}
-			continue
-		}
-		if !in.issued || in.completeCycle > s.now {
-			continue
-		}
-		in.completed = true
-		st := in.dyn.Static
-		switch {
-		case in.isStore():
-			in.storeExecuted = true
-			if s.cfg.LSQ == LSQAssociative {
-				s.ss.StoreCompleted(st.PC, in.ssn)
-			}
-		case st.IsBranch():
-			s.bp.Resolve(st, in.dyn.Taken, in.dyn.NextPC, in.bpPred)
-			if in.brMispredicted {
-				s.res.BranchMispredicts++
-				if s.fetchBlockedOn == in.seq {
-					s.fetchBlockedOn = 0
-					if s.fetchResumeCycle < s.now+1 {
-						s.fetchResumeCycle = s.now + 1
+				if s.cfg.LSQ == LSQAssociative {
+					s.ss.StoreCompleted(st.PC, in.ssn)
+				}
+			case st.IsBranch():
+				s.bp.Resolve(st, in.dyn.Taken, in.dyn.NextPC, in.bpPred)
+				if in.brMispredicted {
+					s.res.BranchMispredicts++
+					if s.fetchBlockedOn == in.seq {
+						s.fetchBlockedOn = 0
+						if s.fetchResumeCycle < s.now+1 {
+							s.fetchResumeCycle = s.now + 1
+						}
 					}
 				}
 			}
 		}
+		*bucket = events[:0]
 	}
+
+	if s.cfg.LSQ != LSQAssociative {
+		return
+	}
+	kept := s.pendingStores[:0]
+	for _, in := range s.pendingStores {
+		if s.producerDone(in.srcSeqs[0]) && s.producerDone(in.srcSeqs[1]) {
+			in.completed = true
+			in.completeCycle = s.now
+			in.storeExecuted = true
+			s.ss.StoreCompleted(in.dyn.Static.PC, in.ssn)
+			continue
+		}
+		kept = append(kept, in)
+	}
+	s.pendingStores = kept
 }

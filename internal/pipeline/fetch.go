@@ -24,7 +24,7 @@ func (s *Simulator) fetch() {
 	branches := 0
 	takenCrossed := 0
 	for fetched := 0; fetched < s.cfg.FetchWidth; fetched++ {
-		if len(s.window) >= maxInFlight {
+		if s.window.len() >= maxInFlight {
 			return
 		}
 		d, err := s.stream.Get(s.fetchSeq)
@@ -44,14 +44,16 @@ func (s *Simulator) fetch() {
 			return
 		}
 
-		in := &inflight{
-			dyn:         d,
-			seq:         d.Seq,
-			port:        classify(d.Static),
-			fetchCycle:  s.now,
-			renameReady: s.now + uint64(s.cfg.FrontEndDepth),
-			histAtDec:   s.pathHist.Value(),
-		}
+		// Pool records come back zeroed except for their generation counter,
+		// which must survive reuse: stale completion events scheduled for a
+		// squashed previous occupant are recognised by generation mismatch.
+		in := s.newInflight()
+		in.dyn = d
+		in.seq = d.Seq
+		in.port = classify(d.Static)
+		in.fetchCycle = s.now
+		in.renameReady = s.now + uint64(s.cfg.FrontEndDepth)
+		in.histAtDec = s.pathHist.Value()
 
 		st := d.Static
 		shortBubble := false
@@ -92,7 +94,7 @@ func (s *Simulator) fetch() {
 		}
 		in.histAfter = s.pathHist.Value()
 
-		s.window = append(s.window, in)
+		s.window.pushBack(in)
 		s.fetchSeq++
 
 		if in.brMispredicted {

@@ -67,7 +67,6 @@ type inflight struct {
 	renameCycle uint64
 
 	// Out-of-order core state.
-	inIQ      bool
 	issued    bool
 	completed bool
 	// completeCycle is valid once issued (or immediately for instructions
@@ -114,8 +113,15 @@ type inflight struct {
 	exitCycle  uint64
 	histAtDec  uint64 // path history used for the bypassing prediction
 	histAfter  uint64 // path history after this instruction (for squash repair)
-	flushOnRet bool   // retire-time flush required (value mis-speculation)
 	mispredict mispredictKind
+
+	// Harness bookkeeping (not architectural state). gen is bumped every time
+	// the record is recycled, invalidating completion events scheduled for a
+	// previous occupant; prevIQ/nextIQ link the record into the simulator's
+	// issue-queue list while it holds an IQ entry.
+	gen    uint64
+	prevIQ *inflight
+	nextIQ *inflight
 }
 
 func (in *inflight) isLoad() bool  { return in.dyn.IsLoad() }

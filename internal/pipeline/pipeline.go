@@ -16,11 +16,19 @@ import (
 	"repro/internal/svw"
 )
 
+// instSource supplies the dynamic instruction stream consumed by fetch:
+// either a live rewindable emulator stream (pipeline.New) or a shared
+// read-only recorded trace (pipeline.NewFromTrace).
+type instSource interface {
+	Get(seq uint64) (*emu.DynInst, error)
+	Release(seq uint64)
+}
+
 // Simulator is one instance of the timing model running one program under one
 // machine configuration.
 type Simulator struct {
 	cfg    Config
-	stream *emu.Stream
+	stream instSource
 
 	// Hardware structures.
 	bp    *bpred.Predictor
@@ -37,8 +45,33 @@ type Simulator struct {
 	now uint64
 
 	// window holds in-flight instructions in age order; sequence numbers are
-	// contiguous, so window[i].seq == window[0].seq + i.
-	window []*inflight
+	// contiguous, so window.at(i).seq == window.front().seq + i. Renamed
+	// instructions form a prefix of renamedCount records (rename is
+	// in-order).
+	window       ring
+	renamedCount int
+
+	// pool holds retired/squashed in-flight records for reuse, keeping the
+	// cycle loop free of steady-state allocation.
+	pool []*inflight
+
+	// iqHead/iqTail form the seq-ordered list of instructions holding issue-
+	// queue entries, so select scans only the scheduler's occupants instead of
+	// the whole window.
+	iqHead *inflight
+	iqTail *inflight
+
+	// compBuckets is a cycle-indexed ring of completion events for issued
+	// instructions; complete drains bucket now&compMask instead of scanning
+	// the window. Events carry the record's generation so events belonging to
+	// squashed (recycled) occupants are ignored.
+	compBuckets [][]compEvent
+	compMask    uint64
+
+	// pendingStores lists renamed, not-yet-executed stores of the
+	// conventional design (which complete when both inputs have been
+	// produced, without issuing), in seq order.
+	pendingStores []*inflight
 
 	// Fetch state.
 	fetchSeq         uint64
@@ -48,9 +81,11 @@ type Simulator struct {
 	pathHist         bypass.PathHistory
 	histAfterRetired uint64
 
-	// Rename state.
+	// Rename state. ratProducer maps each architectural register to the
+	// sequence number of its in-flight producer (0 = architecturally ready);
+	// a dense array, indexed by register number, keeps it off the heap.
 	ssnRenamed   uint64
-	ratProducer  map[isa.Reg]uint64
+	ratProducer  [isa.NumArchRegs]uint64
 	robUsed      int
 	physRegsUsed int
 	iqUsed       int
@@ -58,7 +93,7 @@ type Simulator struct {
 	sqUsed       int
 
 	// Back-end state.
-	backendQ        []*inflight
+	backendQ        ring
 	nextBackendDC   uint64
 	ssnCommitted    uint64
 	ssnInDCache     uint64
@@ -74,31 +109,136 @@ type pendingWrite struct {
 	cycle uint64
 }
 
-// New creates a simulator for the given program and configuration.
+// New creates a simulator for the given program and configuration. The
+// program is emulated on the fly; to share one functional execution across
+// several simulations, record it with emu.RecordTrace and use NewFromTrace.
 func New(p *program.Program, cfg Config) (*Simulator, error) {
+	e := emu.New(p)
+	return newSimulator(emu.NewStream(e, cfg.MaxInsts), p.Name, cfg)
+}
+
+// NewFromTrace creates a simulator replaying a recorded dynamic instruction
+// trace. The trace is read-only and may be shared by any number of
+// concurrent simulators; each gets its own cursor. Results are bit-identical
+// to New on the same program.
+func NewFromTrace(t *emu.Trace, cfg Config) (*Simulator, error) {
+	return newSimulator(t.Cursor(cfg.MaxInsts), t.Name(), cfg)
+}
+
+func newSimulator(src instSource, benchmark string, cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := emu.New(p)
 	s := &Simulator{
-		cfg:         cfg,
-		stream:      emu.NewStream(e, cfg.MaxInsts),
-		bp:          bpred.New(cfg.BPred),
-		ss:          storesets.New(cfg.StoreSets),
-		byp:         bypass.New(cfg.BypassPred),
-		tssbf:       svw.NewTSSBF(cfg.TSSBFEntries, cfg.TSSBFAssoc),
-		srq:         smb.NewSRQ(cfg.ROBSize),
-		l1i:         cache.New(cfg.L1I),
-		l1d:         cache.New(cfg.L1D),
-		l2:          cache.New(cfg.L2),
-		itlb:        cache.NewTLB("itlb", cfg.ITLBEntries, cfg.TLBAssoc),
-		dtlb:        cache.NewTLB("dtlb", cfg.DTLBEntries, cfg.TLBAssoc),
-		fetchSeq:    1,
-		ratProducer: make(map[isa.Reg]uint64),
+		cfg:      cfg,
+		stream:   src,
+		bp:       bpred.New(cfg.BPred),
+		ss:       storesets.New(cfg.StoreSets),
+		byp:      bypass.New(cfg.BypassPred),
+		tssbf:    svw.NewTSSBF(cfg.TSSBFEntries, cfg.TSSBFAssoc),
+		srq:      smb.NewSRQ(cfg.ROBSize),
+		l1i:      cache.New(cfg.L1I),
+		l1d:      cache.New(cfg.L1D),
+		l2:       cache.New(cfg.L2),
+		itlb:     cache.NewTLB("itlb", cfg.ITLBEntries, cfg.TLBAssoc),
+		dtlb:     cache.NewTLB("dtlb", cfg.DTLBEntries, cfg.TLBAssoc),
+		fetchSeq: 1,
 	}
-	s.res.Benchmark = p.Name
+	maxInFlight := cfg.ROBSize + 4*cfg.FetchWidth
+	s.window = newRing(maxInFlight)
+	s.backendQ = newRing(maxInFlight)
+	// The completion ring must cover the longest possible issue-to-complete
+	// distance: a load missing everywhere plus a page-table walk (with slack
+	// for the multi-cycle ALU latencies).
+	maxLat := cfg.DCacheLatency + cfg.L2Latency + cfg.MemLatency + pageWalkLatency + 8
+	comp := 1
+	for comp < maxLat+1 {
+		comp <<= 1
+	}
+	s.compBuckets = make([][]compEvent, comp)
+	s.compMask = uint64(comp - 1)
+	s.pendingStores = make([]*inflight, 0, cfg.SQSize)
+	s.res.Benchmark = benchmark
 	s.res.Config = cfg.Name
 	return s, nil
+}
+
+// compEvent is one scheduled completion. seq and gen pin the event to a
+// specific occupancy of the record: after a squash recycles the record, the
+// generation no longer matches and the event is dead.
+type compEvent struct {
+	in  *inflight
+	seq uint64
+	gen uint64
+}
+
+// scheduleCompletion registers an issued instruction's completion event for
+// its completeCycle.
+func (s *Simulator) scheduleCompletion(in *inflight) {
+	cycle := in.completeCycle
+	if cycle <= s.now {
+		// Defensive: a zero-latency completion is observed at the next
+		// complete pass, exactly as the window scan would have observed it.
+		cycle = s.now + 1
+	}
+	if cycle-s.now > s.compMask {
+		panic("pipeline: completion latency exceeds the completion ring")
+	}
+	idx := cycle & s.compMask
+	s.compBuckets[idx] = append(s.compBuckets[idx], compEvent{in: in, seq: in.seq, gen: in.gen})
+}
+
+// iqPush appends an instruction to the issue-queue list (rename is in order,
+// so the list stays seq-sorted).
+func (s *Simulator) iqPush(in *inflight) {
+	in.prevIQ = s.iqTail
+	in.nextIQ = nil
+	if s.iqTail != nil {
+		s.iqTail.nextIQ = in
+	} else {
+		s.iqHead = in
+	}
+	s.iqTail = in
+}
+
+// iqRemove unlinks an instruction from the issue-queue list (at issue or
+// squash).
+func (s *Simulator) iqRemove(in *inflight) {
+	if in.prevIQ != nil {
+		in.prevIQ.nextIQ = in.nextIQ
+	} else {
+		s.iqHead = in.nextIQ
+	}
+	if in.nextIQ != nil {
+		in.nextIQ.prevIQ = in.prevIQ
+	} else {
+		s.iqTail = in.prevIQ
+	}
+	in.prevIQ, in.nextIQ = nil, nil
+}
+
+// newInflight takes a record from the pool (or allocates one when the pool
+// is empty, which only happens before steady state is reached). The record
+// is zeroed except for its generation counter, which monotonically tracks
+// reuse — callers must not reset it.
+func (s *Simulator) newInflight() *inflight {
+	if n := len(s.pool); n > 0 {
+		in := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return in
+	}
+	return new(inflight)
+}
+
+// recycle clears a record no longer reachable from the window or the
+// back-end queue and returns it to the pool. The generation counter survives
+// (incremented) so completion events scheduled for the old occupant are
+// recognisably stale.
+func (s *Simulator) recycle(in *inflight) {
+	gen := in.gen
+	*in = inflight{}
+	in.gen = gen + 1
+	s.pool = append(s.pool, in)
 }
 
 // MustNew is New but panics on error (for tests and benchmarks with known
@@ -135,7 +275,7 @@ func (s *Simulator) Run() (stats.Run, error) {
 }
 
 func (s *Simulator) done() bool {
-	return s.streamEnded && len(s.window) == 0 && len(s.backendQ) == 0
+	return s.streamEnded && s.window.len() == 0 && s.backendQ.len() == 0
 }
 
 // step advances the machine by one cycle. Stages run back to front so that
@@ -161,21 +301,23 @@ func (s *Simulator) drainDCacheWrites() {
 		s.ssnInDCache = s.pendingDCWrites[i].ssn
 	}
 	if i > 0 {
-		s.pendingDCWrites = s.pendingDCWrites[i:]
+		// Compact in place so the backing array is reused instead of creeping
+		// forward and forcing reallocation.
+		s.pendingDCWrites = append(s.pendingDCWrites[:0], s.pendingDCWrites[i:]...)
 	}
 }
 
 // find returns the in-flight record for seq, or nil if it is not in the
 // window (already retired or never fetched).
 func (s *Simulator) find(seq uint64) *inflight {
-	if len(s.window) == 0 {
+	if s.window.len() == 0 {
 		return nil
 	}
-	base := s.window[0].seq
-	if seq < base || seq >= base+uint64(len(s.window)) {
+	base := s.window.front().seq
+	if seq < base || seq >= base+uint64(s.window.len()) {
 		return nil
 	}
-	return s.window[seq-base]
+	return s.window.at(int(seq - base))
 }
 
 // producerDone reports whether the producer with the given sequence number
@@ -195,13 +337,18 @@ func (s *Simulator) producerDone(seq uint64) bool {
 // renaming (total minus the architectural registers).
 func (s *Simulator) renameableRegs() int { return s.cfg.PhysRegs - isa.NumArchRegs }
 
+// pageWalkLatency is the cost in cycles of a page-table walk on a DTLB
+// miss. The completion-ring sizing in newSimulator accounts for it; keep
+// the two in sync through this constant.
+const pageWalkLatency = 30
+
 // loadLatency models a data-cache read by the out-of-order core, returning
 // the load-to-use latency and updating cache state and statistics.
 func (s *Simulator) loadLatency(addr uint64) int {
 	s.res.DCacheCoreReads++
 	lat := s.cfg.DCacheLatency
 	if !s.dtlb.Access(addr) {
-		lat += 30 // page-table walk
+		lat += pageWalkLatency
 	}
 	if s.l1d.Access(addr, false) {
 		return lat
@@ -227,18 +374,20 @@ func (s *Simulator) icacheLatency(pc uint64) int {
 // squash removes every in-flight instruction younger than afterSeq, restores
 // rename state, and redirects fetch to afterSeq+1.
 func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
-	// Find the split point in the window.
-	keep := len(s.window)
-	for i, in := range s.window {
-		if in.seq > afterSeq {
-			keep = i
-			break
-		}
+	// Squashed instructions that had already entered the back-end (younger
+	// than the flushing load but committed into the back-end pipeline in the
+	// same or a later cycle) are removed from it first; the same records form
+	// the tail of the window, where they are released and recycled.
+	for s.backendQ.len() > 0 && s.backendQ.back().seq > afterSeq {
+		s.backendQ.popBack()
 	}
-	victims := s.window[keep:]
-	s.window = s.window[:keep]
-
-	for _, v := range victims {
+	// Squashed conventional stores form the tail of the pending-store list;
+	// drop them before their records are recycled below.
+	for n := len(s.pendingStores); n > 0 && s.pendingStores[n-1].seq > afterSeq; n = len(s.pendingStores) {
+		s.pendingStores = s.pendingStores[:n-1]
+	}
+	for s.window.len() > 0 && s.window.back().seq > afterSeq {
+		v := s.window.popBack()
 		s.releaseResources(v)
 		if v.renamed {
 			s.robUsed--
@@ -246,17 +395,15 @@ func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
 		if v.isStore() && v.ssn != 0 {
 			s.srq.Release(v.ssn)
 		}
+		s.recycle(v)
 	}
-	// Squashed instructions that had already entered the back-end (younger
-	// than the flushing load but committed into the back-end pipeline in the
-	// same or a later cycle) are removed from it, along with any data-cache
-	// writes they had scheduled.
-	for len(s.backendQ) > 0 && s.backendQ[len(s.backendQ)-1].seq > afterSeq {
-		s.backendQ = s.backendQ[:len(s.backendQ)-1]
+	if s.renamedCount > s.window.len() {
+		s.renamedCount = s.window.len()
 	}
 	// Rename-time SSN counter rewinds to the youngest surviving store.
 	s.ssnRenamed = s.ssnCommitted
-	for _, in := range s.window {
+	for i := 0; i < s.window.len(); i++ {
+		in := s.window.at(i)
 		if in.isStore() && in.renamed && in.ssn > s.ssnRenamed {
 			s.ssnRenamed = in.ssn
 		}
@@ -269,8 +416,9 @@ func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
 	}
 	s.pendingDCWrites = kept
 	// Rebuild the producer map from the survivors.
-	s.ratProducer = make(map[isa.Reg]uint64)
-	for _, in := range s.window {
+	clear(s.ratProducer[:])
+	for i := 0; i < s.window.len(); i++ {
+		in := s.window.at(i)
 		if !in.renamed {
 			continue
 		}
@@ -278,19 +426,15 @@ func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
 		if st.HasDst() {
 			if in.bypassed {
 				// The load's consumers track the DEF, not the load.
-				if in.srcSeqs[1] != 0 {
-					s.ratProducer[st.Dst] = in.srcSeqs[1]
-				} else {
-					delete(s.ratProducer, st.Dst)
-				}
+				s.ratProducer[st.Dst] = in.srcSeqs[1]
 			} else {
 				s.ratProducer[st.Dst] = in.seq
 			}
 		}
 	}
 	// Restore path history and fetch state.
-	if keep > 0 {
-		s.pathHist = bypass.HistoryFromValue(s.window[keep-1].histAfter)
+	if s.window.len() > 0 {
+		s.pathHist = bypass.HistoryFromValue(s.window.back().histAfter)
 	} else {
 		s.pathHist = bypass.HistoryFromValue(s.histAfterRetired)
 	}
@@ -312,6 +456,7 @@ func (s *Simulator) releaseResources(in *inflight) {
 	if in.holdsIQ {
 		s.iqUsed--
 		in.holdsIQ = false
+		s.iqRemove(in)
 	}
 	if in.holdsLQ {
 		s.lqUsed--

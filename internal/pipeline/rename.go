@@ -39,13 +39,11 @@ func (s *Simulator) rename() {
 
 func (s *Simulator) oldestUnrenamed() *inflight {
 	// Renamed instructions form a prefix of the window (rename is in-order),
-	// so scan from the back of that prefix.
-	for _, in := range s.window {
-		if !in.renamed {
-			return in
-		}
+	// so the oldest unrenamed instruction sits right after it.
+	if s.renamedCount >= s.window.len() {
+		return nil
 	}
-	return nil
+	return s.window.at(s.renamedCount)
 }
 
 // renameOne renames a single instruction, returning false (without side
@@ -145,6 +143,7 @@ func (s *Simulator) renameOne(in *inflight) bool {
 	// Commit the rename.
 	in.renamed = true
 	in.renameCycle = s.now
+	s.renamedCount++
 	in.srcSeqs[0] = src1
 	in.srcSeqs[1] = src2
 	in.renSSNCommitted = s.ssnCommitted
@@ -157,7 +156,7 @@ func (s *Simulator) renameOne(in *inflight) bool {
 	if needIQ {
 		s.iqUsed++
 		in.holdsIQ = true
-		in.inIQ = true
+		s.iqPush(in)
 	}
 	if needLQ {
 		s.lqUsed++
@@ -174,6 +173,7 @@ func (s *Simulator) renameOne(in *inflight) bool {
 		in.ssn = s.ssnRenamed
 		if s.cfg.LSQ == LSQAssociative {
 			s.ss.StoreRenamed(st.PC, in.ssn, in.seq)
+			s.pendingStores = append(s.pendingStores, in)
 		} else {
 			s.srq.Insert(smb.SRQEntry{
 				SSN:         in.ssn,
@@ -205,14 +205,12 @@ func (s *Simulator) renameOne(in *inflight) bool {
 		}
 	}
 
-	// Map-table update for the destination register.
+	// Map-table update for the destination register. For a bypassed load the
+	// consumers track the DEF (srcSeqs[1]); a zero DEF means the value is
+	// architecturally ready, which is exactly what a zero map entry encodes.
 	if st.HasDst() {
 		if in.bypassed {
-			if in.srcSeqs[1] != 0 {
-				s.ratProducer[st.Dst] = in.srcSeqs[1]
-			} else {
-				delete(s.ratProducer, st.Dst)
-			}
+			s.ratProducer[st.Dst] = in.srcSeqs[1]
 		} else {
 			s.ratProducer[st.Dst] = in.seq
 		}

@@ -1,0 +1,65 @@
+package pipeline
+
+// ring is a FIFO of in-flight records backed by a circular buffer with
+// power-of-two capacity. The window and the back-end queue are bounded by the
+// machine configuration, so once sized they never grow and push/pop allocate
+// nothing.
+type ring struct {
+	buf  []*inflight
+	mask int
+	head int
+	n    int
+}
+
+// newRing returns a ring with capacity for at least the given number of
+// records.
+func newRing(capacity int) ring {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return ring{buf: make([]*inflight, c), mask: c - 1}
+}
+
+func (r *ring) len() int { return r.n }
+
+// at returns the i-th record from the front (0-based); i must be < len.
+func (r *ring) at(i int) *inflight { return r.buf[(r.head+i)&r.mask] }
+
+func (r *ring) front() *inflight { return r.buf[r.head] }
+
+func (r *ring) back() *inflight { return r.buf[(r.head+r.n-1)&r.mask] }
+
+func (r *ring) pushBack(in *inflight) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&r.mask] = in
+	r.n++
+}
+
+func (r *ring) popFront() *inflight {
+	in := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return in
+}
+
+func (r *ring) popBack() *inflight {
+	r.n--
+	i := (r.head + r.n) & r.mask
+	in := r.buf[i]
+	r.buf[i] = nil
+	return in
+}
+
+// grow doubles the capacity (a safety valve; correctly sized rings never hit
+// it).
+func (r *ring) grow() {
+	buf := make([]*inflight, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf, r.mask, r.head = buf, len(buf)-1, 0
+}

@@ -135,7 +135,10 @@ type TSSBFEntry struct {
 // maxEvicted, because the filter can no longer prove the evicted store did
 // not write the load's address.
 type TSSBF struct {
-	sets       [][]TSSBFEntry
+	// entries is the flat set-major backing array: set si occupies
+	// entries[si*assoc : (si+1)*assoc]. A flat slice keeps the per-access
+	// lookups free of the pointer chase a slice-of-slices would add.
+	entries    []TSSBFEntry
 	fifo       []int // next victim way per set
 	assoc      int
 	mask       uint64
@@ -153,12 +156,7 @@ func NewTSSBF(entries, assoc int) *TSSBF {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("svw: T-SSBF set count %d must be a power of two", numSets))
 	}
-	sets := make([][]TSSBFEntry, numSets)
-	backing := make([]TSSBFEntry, entries)
-	for i := range sets {
-		sets[i] = backing[i*assoc : (i+1)*assoc]
-	}
-	return &TSSBF{sets: sets, fifo: make([]int, numSets), assoc: assoc, mask: uint64(numSets - 1)}
+	return &TSSBF{entries: make([]TSSBFEntry, entries), fifo: make([]int, numSets), assoc: assoc, mask: uint64(numSets - 1)}
 }
 
 // tagAddr is the address at doubleword granularity: loads and stores to the
@@ -179,7 +177,7 @@ func (f *TSSBF) StoreCommit(addr uint64, ssn SSN, size uint8) {
 	}
 	si := f.set(addr)
 	tag := tagAddr(addr)
-	set := f.sets[si]
+	set := f.entries[si*f.assoc : (si+1)*f.assoc]
 	for i := range set {
 		if set[i].Valid && set[i].Tag == tag {
 			set[i].SSN = ssn
@@ -203,7 +201,7 @@ func (f *TSSBF) MaxEvicted() SSN { return f.maxEvicted }
 func (f *TSSBF) Lookup(addr uint64) (TSSBFEntry, bool) {
 	si := f.set(addr)
 	tag := tagAddr(addr)
-	for _, e := range f.sets[si] {
+	for _, e := range f.entries[si*f.assoc : (si+1)*f.assoc] {
 		if e.Valid && e.Tag == tag {
 			return e, true
 		}
@@ -275,14 +273,8 @@ func (f *TSSBF) Counters() Counters { return f.ctr }
 
 // Reset clears contents and counters.
 func (f *TSSBF) Reset() {
-	for i := range f.sets {
-		for j := range f.sets[i] {
-			f.sets[i][j] = TSSBFEntry{}
-		}
-	}
-	for i := range f.fifo {
-		f.fifo[i] = 0
-	}
+	clear(f.entries)
+	clear(f.fifo)
 	f.maxEvicted = 0
 	f.ctr = Counters{}
 }
