@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		configs    = flag.String("configs", "", "sweep only: comma-separated configuration kinds (default: all)")
 		windows    = flag.String("windows", "", "sweep only: comma-separated window sizes (default: 128)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long; finished pairs stay checkpointed (0 = no deadline)")
 		shards     = flag.Int("shards", 0, "split the job list across N processes (0 or 1 = no sharding)")
 		shardIndex = flag.Int("shard-index", 0, "this process's 0-based shard (with -shards)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
@@ -122,15 +124,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	// SIGINT/SIGTERM cancel in-flight experiments; finished pairs stay in
-	// the checkpoint file, so re-running the same command resumes.
+	// SIGINT/SIGTERM and -timeout cancel in-flight experiments; finished
+	// pairs stay in the checkpoint file, so re-running the same command
+	// resumes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	for i, e := range selected {
 		start := time.Now()
 		rep, err := e.Run(ctx, opts)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "%s: deadline exceeded: the run did not finish within -timeout %v", e.Name(), *timeout)
+				if *checkpoint != "" {
+					fmt.Fprintf(os.Stderr, "; finished pairs are in %s — re-run the same command to resume", *checkpoint)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name(), err)
 			os.Exit(1)
 		}

@@ -1,0 +1,143 @@
+//go:build integration
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/simapi"
+	"repro/internal/simclient"
+)
+
+// TestServerIntegration boots the real nosq-server binary on a random port,
+// submits a small fig2 job through the typed client, and asserts that an
+// identical re-submission is served entirely from the result cache — zero
+// pairs re-simulated, /metricsz hit counter up — before shutting the server
+// down gracefully. Run with: go test -tags integration ./cmd/nosq-server
+func TestServerIntegration(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "nosq-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building nosq-server: %v\n%s", err, out)
+	}
+
+	cachePath := filepath.Join(dir, "cache.jsonl")
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", cachePath, "-workers", "1")
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var waitErr error
+	exited := make(chan struct{})
+	go func() { waitErr = srv.Wait(); close(exited) }()
+	defer func() {
+		select {
+		case <-exited: // already down
+		default:
+			srv.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The first stdout line announces the resolved address of port 0.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line on stdout; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("unexpected listen line %q", line)
+	}
+	baseURL := strings.TrimSpace(line[i:])
+	c := simclient.New(baseURL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	spec := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip", "applu"}, Iterations: 15}
+	first, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err = c.Wait(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != simapi.StateDone || first.ExecutedPairs == 0 || first.CachedPairs != 0 {
+		t.Fatalf("first job = %+v, want fully executed", first)
+	}
+	firstCSV, err := c.Report(ctx, first.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The cached re-submit: a fresh job that simulates nothing.
+	second, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Deduped {
+		t.Fatalf("re-submission after completion deduped: %+v", second)
+	}
+	second, err = c.Wait(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != simapi.StateDone {
+		t.Fatalf("second job = %+v", second)
+	}
+	if second.ExecutedPairs != 0 || second.CachedPairs != first.ExecutedPairs {
+		t.Fatalf("re-submit executed %d / cached %d pairs, want 0/%d (re-simulated instead of cache hit)",
+			second.ExecutedPairs, second.CachedPairs, first.ExecutedPairs)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != uint64(first.ExecutedPairs) || m.CacheMisses != uint64(first.ExecutedPairs) {
+		t.Fatalf("metrics hits/misses = %d/%d, want %d/%d",
+			m.CacheHits, m.CacheMisses, first.ExecutedPairs, first.ExecutedPairs)
+	}
+	secondCSV, err := c.Report(ctx, second.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstCSV, secondCSV) {
+		t.Error("cache-served report differs from the executed run")
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit, cache file persisted.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+		if waitErr != nil {
+			t.Fatalf("server exited uncleanly: %v\nstderr:\n%s", waitErr, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit on SIGTERM")
+	}
+	if fi, err := os.Stat(cachePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("result cache not persisted: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command nosq-server runs the simulation service: an HTTP server that
+// accepts experiment jobs (the registered experiments of nosq-experiments),
+// executes them on a bounded worker pool, and serves repeated or overlapping
+// grids from a content-addressed result cache instead of re-simulating.
+//
+// Examples:
+//
+//	nosq-server -addr :8080 -cache results.jsonl
+//	nosq-server -addr 127.0.0.1:0 -workers 2 -parallel 4
+//
+// Submit and follow jobs with curl (see README "Running the server") or the
+// typed client in internal/simclient:
+//
+//	curl -s localhost:8080/api/v1/jobs -d '{"experiment":"fig2","iterations":100}'
+//	curl -s localhost:8080/api/v1/jobs/job-000001/events
+//	curl -s 'localhost:8080/api/v1/jobs/job-000001/report?format=text'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simserver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers  = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "persist the result cache to this JSONL file (default: memory only)")
+		maxIters = flag.Int("max-iters", 0, "reject jobs asking for more workload iterations (0 = no cap)")
+		maxJobs  = flag.Int("max-finished", 0, "retain at most N finished jobs' metadata; oldest evicted (0 = 1000)")
+		quiet    = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "nosq-server: ", log.LstdFlags)
+	cfg := simserver.Config{
+		Workers:         *workers,
+		Parallelism:     *parallel,
+		CachePath:       *cache,
+		MaxIterations:   *maxIters,
+		MaxFinishedJobs: *maxJobs,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv, corrupt, err := simserver.New(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if corrupt > 0 {
+		logger.Printf("warning: result cache %s: skipped %d corrupt line(s)", *cache, corrupt)
+	}
+	if *cache != "" {
+		logger.Printf("result cache %s: %d entries resident", *cache, srv.Cache().Len())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The resolved address goes to stdout so scripts (and the CI integration
+	// test) can parse the port picked for :0.
+	fmt.Printf("nosq-server listening on http://%s\n", ln.Addr())
+
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Print("shutting down (signal)")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}
+
+	// Cancel jobs first, then drain HTTP: open /events streams only end when
+	// their job reaches a terminal state, so draining connections before
+	// cancelling jobs would deadlock until the timeout. During the job drain
+	// the listener still answers; new submissions fail with 503.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	hs.Shutdown(shutdownCtx)
+}

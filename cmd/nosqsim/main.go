@@ -7,16 +7,22 @@
 //	nosqsim -bench gzip -config nosq-delay
 //	nosqsim -bench mesa.o -all -window 256 -iters 600
 //	nosqsim -bench gzip -all -format json -out gzip.json
+//	nosqsim -bench gzip -all -timeout 30s
 //	nosqsim -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
@@ -28,6 +34,7 @@ func main() {
 		window  = flag.Int("window", 128, "instruction window (ROB) size")
 		iters   = flag.Int("iters", 0, "workload iterations (0 = default)")
 		maxInst = flag.Uint64("max-insts", 0, "stop after N committed instructions (0 = unbounded)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
 		format  = flag.String("format", stats.FormatText, "output format: "+strings.Join(stats.Formats(), ", "))
 		out     = flag.String("out", "", "write output to this file (default: stdout)")
 		list    = flag.Bool("list", false, "list benchmarks and configurations, then exit")
@@ -61,19 +68,44 @@ func main() {
 		}
 		kinds = []core.ConfigKind{k}
 	}
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
 
-	opts := core.Options{WindowSize: *window, Iterations: *iters, MaxInsts: *maxInst}
-	tbl := stats.NewTable(fmt.Sprintf("%s (window %d)", *bench, *window),
-		"config", "cycles", "IPC", "comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
-	for _, k := range kinds {
-		run, err := core.Simulate(*bench, k, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", k, err)
+	// SIGINT/SIGTERM and -timeout both cancel in-flight simulations through
+	// the sweep engine's context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	rep, err := experiments.Sweep(ctx, experiments.Options{
+		Iterations: *iters,
+		MaxInsts:   *maxInst,
+		Benchmarks: []string{*bench},
+		Configs:    names,
+		Windows:    []int{*window},
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "nosqsim: deadline exceeded: the run did not finish within -timeout %v\n", *timeout)
 			os.Exit(1)
 		}
-		tbl.AddRow(k.String(), run.Cycles, run.IPC(), run.PctInWindowComm(),
-			run.BypassedLoads, run.DelayedLoads, run.MispredictsPer10kLoads(),
-			run.Flushes, run.TotalDCacheReads(), run.Reexecutions)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Present the classic nosqsim table: one row per configuration, in the
+	// order requested.
+	tbl := stats.NewTable(fmt.Sprintf("%s (window %d)", *bench, *window),
+		"config", "cycles", "IPC", "comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
+	for _, r := range rep.Rows.([]experiments.SweepRow) {
+		tbl.AddRow(r.Config, r.Cycles, r.IPC, r.CommPct,
+			r.Bypassed, r.Delayed, r.MisPer10k, r.Flushes, r.DCacheReads, r.Reexecutions)
 	}
 
 	text, err := tbl.Render(*format)

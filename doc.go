@@ -18,11 +18,17 @@
 // pipeline.NewFromTrace) and emits BENCH_<rev>.json documents that CI gates
 // against the committed baseline under bench/.
 //
+// The simulation service (simserver, with the simapi wire types and the
+// simclient typed client; command cmd/nosq-server) runs experiments as a
+// long-lived HTTP job queue with a bounded worker pool and a
+// content-addressed result cache, so repeated or overlapping grids are
+// served without re-simulating.
+//
 // The command-line drivers are cmd/nosqsim (one simulation),
-// cmd/nosq-experiments (the experiment registry), and cmd/nosq-bench (the
-// perf harness). See README.md for a tour, quickstart, and the performance
-// methodology, and DESIGN.md for the system inventory and the NoSQ vs.
-// conventional pipeline data flow.
+// cmd/nosq-experiments (the experiment registry), cmd/nosq-server (the
+// simulation service), and cmd/nosq-bench (the perf harness). See README.md
+// for a tour, quickstart, and the performance methodology, and DESIGN.md for
+// the system inventory and the NoSQ vs. conventional pipeline data flow.
 //
 // This root package holds the repository-level benchmark harness
 // (bench_test.go): one benchmark per table/figure plus ablation and

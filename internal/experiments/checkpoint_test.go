@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func ckEntry(bench, cfg string, cycles uint64) CheckpointEntry {
+	return CheckpointEntry{Experiment: "sweep", Iterations: 25, Benchmark: bench, Config: cfg,
+		Run: stats.Run{Benchmark: bench, Config: cfg, Cycles: cycles}}
+}
+
+// TestCheckpointWriterDurablePerAppend: every append must be fully on the
+// file (flushed through any buffering) before the call returns — an
+// interrupted sweep resumes from exactly the pairs it was told were
+// recorded. This is the regression test for buffered writes lingering in
+// memory: a crash between append and Close would otherwise leave a
+// truncated (or missing) final JSONL line that the corrupt-line skipper
+// silently discards, re-running finished work.
+func TestCheckpointWriterDurablePerAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := openCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []CheckpointEntry{
+		ckEntry("gzip", "nosq-delay", 100),
+		ckEntry("applu", "nosq-delay", 200),
+		ckEntry("mesa.o", "assoc-sq-storesets", 300),
+	}
+	for i, e := range entries {
+		if err := w.append(e); err != nil {
+			t.Fatal(err)
+		}
+		// Before Close — as if the process died right here: the file must
+		// already hold i+1 complete, parseable lines.
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 || b[len(b)-1] != '\n' {
+			t.Fatalf("after append %d: file does not end in a complete line: %q", i+1, b)
+		}
+		lines := bytes.Split(bytes.TrimSuffix(b, []byte("\n")), []byte("\n"))
+		if len(lines) != i+1 {
+			t.Fatalf("after append %d: %d lines on disk", i+1, len(lines))
+		}
+		for _, line := range lines {
+			var got CheckpointEntry
+			if err := json.Unmarshal(line, &got); err != nil {
+				t.Fatalf("after append %d: unparseable line %q: %v", i+1, line, err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the whole file round-trips through the loader with zero corruption.
+	loaded, corrupt, err := LoadCheckpointEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("loader found %d corrupt lines in a cleanly closed checkpoint", corrupt)
+	}
+	if len(loaded) != len(entries) {
+		t.Fatalf("loaded %d entries, want %d", len(loaded), len(entries))
+	}
+	for i, e := range entries {
+		if loaded[i].Key() != e.Key() || loaded[i].Run.Cycles != e.Run.Cycles {
+			t.Errorf("entry %d round-tripped as %+v", i, loaded[i])
+		}
+	}
+}
+
+// TestCheckpointWriterCloseAfterNoAppends: a sweep that resumed everything
+// opens no writer; the file-store Close must tolerate that.
+func TestCheckpointFileStoreLazyOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	s := &checkpointFileStore{path: path}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close with no appends: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("file store created a checkpoint file without any append")
+	}
+	if err := s.Append(ckEntry("gzip", "nosq-delay", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, corrupt, err := s.Load()
+	if err != nil || corrupt != 0 || len(loaded) != 1 {
+		t.Fatalf("Load = %d entries, %d corrupt, err %v", len(loaded), corrupt, err)
+	}
+}

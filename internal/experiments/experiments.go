@@ -48,6 +48,11 @@ type Options struct {
 	Shards     int
 	ShardIndex int
 
+	// MaxInsts bounds each simulation to N committed instructions
+	// (0 = unbounded). It is part of a run's identity in the result store: a
+	// resume under a different bound re-runs rather than serving stale rows.
+	MaxInsts uint64
+
 	// Checkpoint names a JSONL file recording every finished
 	// (benchmark, configuration) run. Pairs already in the file are loaded
 	// instead of re-run, so an interrupted experiment resumes where it
@@ -56,6 +61,19 @@ type Options struct {
 	// and by Iterations, so one file can be shared safely — a resume under
 	// different settings re-runs rather than serving stale rows.
 	Checkpoint string
+
+	// Store overrides the checkpoint file with an arbitrary ResultStore:
+	// finished pairs are appended to it and its stored entries are resumed
+	// instead of re-run. When set, Checkpoint is ignored. The caller owns the
+	// store's lifecycle (the engine never closes an injected store), so one
+	// store can serve many runs — the simulation server shares one
+	// content-addressed cache across every job it executes.
+	Store ResultStore
+
+	// Progress, if set, observes the run: the job plan once it is decided,
+	// then every executed pair as it finishes. The simulation server uses it
+	// to stream per-pair progress events to HTTP clients.
+	Progress ProgressSink
 
 	// Configs and Windows define the sweep experiment's grid: configuration
 	// kind names (see core.Kinds; nil = all five) and instruction-window
@@ -88,7 +106,7 @@ func (o Options) workers() int {
 // set, so a benchmark whose cells were skipped by shard selection must be
 // dropped rather than rendered with zero-value runs; the full table comes
 // from replaying the merged checkpoints.
-func completeOnly(benchmarks []string, runs map[string]map[string]stats.Run, nCfgs int, sum *sweepSummary) []string {
+func completeOnly(benchmarks []string, runs map[string]map[string]stats.Run, nCfgs int, sum *Summary) []string {
 	out := benchmarks[:0:0]
 	for _, b := range benchmarks {
 		if len(runs[b]) == nCfgs {

@@ -44,7 +44,7 @@ func Figure2(opts Options) (*stats.Table, []RelTimeRow, error) {
 	return tbl, rows, err
 }
 
-func figure2(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+func figure2(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, Summary, error) {
 	return relativeTimeFigure(ctx, fig2Title, opts, false, 128)
 }
 
@@ -56,11 +56,11 @@ func Figure3(opts Options) (*stats.Table, []RelTimeRow, error) {
 	return tbl, rows, err
 }
 
-func figure3(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+func figure3(ctx context.Context, opts Options) (*stats.Table, []RelTimeRow, Summary, error) {
 	return relativeTimeFigure(ctx, fig3Title, opts, true, 256)
 }
 
-func relativeTimeFigure(ctx context.Context, title string, opts Options, selected bool, window int) (*stats.Table, []RelTimeRow, sweepSummary, error) {
+func relativeTimeFigure(ctx context.Context, title string, opts Options, selected bool, window int) (*stats.Table, []RelTimeRow, Summary, error) {
 	opts.scope = fmt.Sprintf("figure-w%d", window)
 	benchmarks := defaultBenchmarks(opts, selected)
 	kinds := append([]core.ConfigKind{core.IdealBaseline}, figureKinds...)
@@ -159,7 +159,7 @@ func Figure4(opts Options) (*stats.Table, []Figure4Row, error) {
 	return tbl, rows, err
 }
 
-func figure4(ctx context.Context, opts Options) (*stats.Table, []Figure4Row, sweepSummary, error) {
+func figure4(ctx context.Context, opts Options) (*stats.Table, []Figure4Row, Summary, error) {
 	opts.scope = "fig4"
 	benchmarks := defaultBenchmarks(opts, true)
 	cfgs := kindConfigs([]core.ConfigKind{core.Baseline, core.NoSQDelay}, 0)
@@ -232,7 +232,7 @@ func Figure5Capacity(opts Options) (*stats.Table, []SensitivityRow, error) {
 	return tbl, rows, err
 }
 
-func figure5Capacity(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, sweepSummary, error) {
+func figure5Capacity(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, Summary, error) {
 	opts.scope = "fig5cap"
 	variants := []struct {
 		label   string
@@ -261,7 +261,7 @@ func Figure5History(opts Options) (*stats.Table, []SensitivityRow, error) {
 	return tbl, rows, err
 }
 
-func figure5History(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, sweepSummary, error) {
+func figure5History(ctx context.Context, opts Options) (*stats.Table, []SensitivityRow, Summary, error) {
 	opts.scope = "fig5hist"
 	bits := []int{4, 6, 8, 10, 12}
 	cfgs := kindConfigs([]core.ConfigKind{core.IdealBaseline}, 0)
@@ -288,7 +288,7 @@ func figure5History(ctx context.Context, opts Options) (*stats.Table, []Sensitiv
 // sensitivity runs the ideal baseline plus a set of NoSQ variants on the
 // selected benchmarks and reports execution time relative to the ideal
 // baseline, with per-suite geometric means.
-func sensitivity(ctx context.Context, title string, opts Options, cfgs map[string]pipeline.Config, labels []string) (*stats.Table, []SensitivityRow, sweepSummary, error) {
+func sensitivity(ctx context.Context, title string, opts Options, cfgs map[string]pipeline.Config, labels []string) (*stats.Table, []SensitivityRow, Summary, error) {
 	benchmarks := defaultBenchmarks(opts, true)
 	runs, sum, err := runSweep(ctx, benchmarks, cfgs, opts)
 	if err != nil {

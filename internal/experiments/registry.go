@@ -38,6 +38,9 @@ type Report struct {
 	// Meta records run metadata (job counts, shard selection, resume counts)
 	// as ordered key=value pairs.
 	Meta []MetaEntry
+	// Summary is the typed job accounting behind the Meta entries; the
+	// simulation server reads it to attribute result-cache hits and misses.
+	Summary Summary
 }
 
 // MetaEntry is one ordered key=value pair of report metadata.
@@ -196,8 +199,8 @@ func (f funcExperiment) Run(ctx context.Context, opts Options) (*Report, error) 
 }
 
 // report wraps a table + typed rows + sweep summary into a Report.
-func report(name string, tbl *stats.Table, rows interface{}, sum sweepSummary) *Report {
-	r := &Report{Experiment: name, Table: tbl, Rows: rows}
+func report(name string, tbl *stats.Table, rows interface{}, sum Summary) *Report {
+	r := &Report{Experiment: name, Table: tbl, Rows: rows, Summary: sum}
 	r.AddMeta("jobs", sum.Total)
 	r.AddMeta("executed", sum.Executed)
 	if sum.Resumed > 0 {
@@ -217,7 +220,7 @@ func report(name string, tbl *stats.Table, rows interface{}, sum sweepSummary) *
 
 // registerRows registers an experiment implemented as a (table, typed rows,
 // summary) function, wrapping its result into a Report.
-func registerRows[R any](name, desc string, run func(context.Context, Options) (*stats.Table, []R, sweepSummary, error)) {
+func registerRows[R any](name, desc string, run func(context.Context, Options) (*stats.Table, []R, Summary, error)) {
 	Register(funcExperiment{
 		name: name,
 		desc: desc,

@@ -92,8 +92,8 @@ type sweepJob struct {
 	cfg       pipeline.Config
 }
 
-// sweepSummary describes how a sweep's job list was disposed of.
-type sweepSummary struct {
+// Summary describes how a sweep's job list was disposed of.
+type Summary struct {
 	// Total is the size of the full (benchmark × configuration) grid.
 	Total int
 	// Executed counts jobs simulated by this process.
@@ -113,39 +113,74 @@ type sweepSummary struct {
 	Incomplete int
 }
 
-// checkpointEntry is one finished job, one JSON line of the checkpoint file.
-// Experiment scopes the entry so a file shared across experiments cannot
-// serve one experiment's runs to another, and Iterations pins the workload
-// length so a resume under a different -iters re-runs instead of silently
-// serving stale measurements.
-type checkpointEntry struct {
+// CheckpointEntry is one finished job: one JSON line of a checkpoint file,
+// one record of a ResultStore, and the payload of a per-pair progress event.
+// Experiment scopes the entry so a store shared across experiments cannot
+// serve one experiment's runs to another, and Iterations/MaxInsts pin the
+// workload length so a resume under different settings re-runs instead of
+// silently serving stale measurements.
+type CheckpointEntry struct {
 	Experiment string    `json:"experiment,omitempty"`
 	Iterations int       `json:"iterations,omitempty"`
+	MaxInsts   uint64    `json:"max_insts,omitempty"`
 	Benchmark  string    `json:"benchmark"`
 	Config     string    `json:"config"`
 	Run        stats.Run `json:"run"`
 }
 
-func pairKey(scope string, iterations int, benchmark, config string) string {
-	return fmt.Sprintf("%s\x00%d\x00%s\x00%s", scope, iterations, benchmark, config)
+// Key returns the entry's identity within a result store: the fields that
+// must all match for a stored run to be served instead of re-simulated.
+func (e CheckpointEntry) Key() string {
+	return pairKey(e.Experiment, e.Iterations, e.MaxInsts, e.Benchmark, e.Config)
 }
 
-// loadCheckpoint reads a JSONL checkpoint file into a (scope, benchmark,
-// config) → Run map. A missing file is an empty checkpoint. Malformed lines
-// (e.g. a line truncated when the writing process was killed, or one missing
-// its identifying fields) are skipped so a checkpoint stays usable after any
-// interruption; corrupt counts them so callers can warn — a silently
-// shrinking checkpoint would otherwise look like completed work re-running
-// for no reason.
-func loadCheckpoint(path string) (done map[string]stats.Run, corrupt int, err error) {
-	done = make(map[string]stats.Run)
+func pairKey(scope string, iterations int, maxInsts uint64, benchmark, config string) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%s\x00%s", scope, iterations, maxInsts, benchmark, config)
+}
+
+// ResultStore abstracts where finished (benchmark, configuration) runs live.
+// The sweep engine loads previously stored entries before executing anything
+// — entries whose Key matches a planned job are served as resumed results —
+// and appends every newly finished run. The default store is a JSONL
+// checkpoint file (Options.Checkpoint); the simulation server injects a
+// content-addressed cache shared across jobs instead (Options.Store).
+// Implementations must be safe for concurrent Append calls.
+type ResultStore interface {
+	// Load returns the stored entries plus a count of corrupt records that
+	// were skipped (e.g. a JSONL line truncated by a crash).
+	Load() ([]CheckpointEntry, int, error)
+	// Append durably records one finished run.
+	Append(CheckpointEntry) error
+}
+
+// ProgressSink observes a sweep as it runs. Planned fires once per sweep,
+// after resume and shard filtering decided what actually executes; PairDone
+// fires for every pair simulated by this process, as its result lands.
+// PairDone may be called concurrently from worker goroutines' result
+// collector; implementations are invoked synchronously and should be quick.
+type ProgressSink interface {
+	// Planned reports the job accounting: the full grid size, pairs resumed
+	// from the result store, pairs owned by other shards, and pairs this
+	// process will execute.
+	Planned(total, resumed, skippedShard, pending int)
+	// PairDone reports one executed pair as its checkpoint entry.
+	PairDone(CheckpointEntry)
+}
+
+// LoadCheckpointEntries reads a JSONL checkpoint file. A missing file is an
+// empty checkpoint. Malformed lines (e.g. a line truncated when the writing
+// process was killed, or one missing its identifying fields) are skipped so a
+// checkpoint stays usable after any interruption; corrupt counts them so
+// callers can warn — a silently shrinking checkpoint would otherwise look
+// like completed work re-running for no reason.
+func LoadCheckpointEntries(path string) (entries []CheckpointEntry, corrupt int, err error) {
 	if path == "" {
-		return done, 0, nil
+		return nil, 0, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return done, 0, nil
+			return nil, 0, nil
 		}
 		return nil, 0, fmt.Errorf("experiments: reading checkpoint: %w", err)
 	}
@@ -157,20 +192,25 @@ func loadCheckpoint(path string) (done map[string]stats.Run, corrupt int, err er
 		if len(line) == 0 {
 			continue
 		}
-		var e checkpointEntry
+		var e CheckpointEntry
 		if json.Unmarshal(line, &e) != nil || e.Benchmark == "" || e.Config == "" {
 			corrupt++
 			continue
 		}
-		done[pairKey(e.Experiment, e.Iterations, e.Benchmark, e.Config)] = e.Run
+		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, corrupt, fmt.Errorf("experiments: reading checkpoint: %w", err)
 	}
-	return done, corrupt, nil
+	return entries, corrupt, nil
 }
 
-// checkpointWriter appends finished jobs to the JSONL checkpoint file.
+// checkpointWriter appends finished jobs to the JSONL checkpoint file. Each
+// append is one unbuffered write of a complete line (so every recorded pair
+// reaches the OS before the job counts as checkpointed, and an interrupted
+// sweep never re-runs finished work), and Close fsyncs before closing so a
+// crash right after a clean shutdown cannot leave a truncated final line
+// for the corrupt-line skipper to discard.
 type checkpointWriter struct {
 	mu sync.Mutex
 	f  *os.File
@@ -184,7 +224,7 @@ func openCheckpoint(path string) (*checkpointWriter, error) {
 	return &checkpointWriter{f: f}, nil
 }
 
-func (w *checkpointWriter) append(e checkpointEntry) error {
+func (w *checkpointWriter) append(e CheckpointEntry) error {
 	b, err := json.Marshal(e)
 	if err != nil {
 		return err
@@ -195,7 +235,65 @@ func (w *checkpointWriter) append(e checkpointEntry) error {
 	return err
 }
 
-func (w *checkpointWriter) Close() error { return w.f.Close() }
+func (w *checkpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// checkpointFileStore is the default ResultStore: entries resume from and
+// append to one JSONL checkpoint file. The writer opens lazily, so a sweep
+// that resumes everything never touches the file for writing.
+type checkpointFileStore struct {
+	path string
+	mu   sync.Mutex
+	w    *checkpointWriter
+}
+
+func (s *checkpointFileStore) Load() ([]CheckpointEntry, int, error) {
+	return LoadCheckpointEntries(s.path)
+}
+
+// open makes the writer eagerly so a sweep with pending work rejects an
+// unwritable checkpoint path before simulating anything, not after.
+func (s *checkpointFileStore) open() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		return nil
+	}
+	w, err := openCheckpoint(s.path)
+	if err != nil {
+		return err
+	}
+	s.w = w
+	return nil
+}
+
+func (s *checkpointFileStore) Append(e CheckpointEntry) error {
+	if err := s.open(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	w := s.w
+	s.mu.Unlock()
+	return w.append(e)
+}
+
+func (s *checkpointFileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}
 
 // runSweep is the sweep engine behind every experiment: it runs each
 // (benchmark, configuration) pair through the simulator using a worker pool,
@@ -205,18 +303,24 @@ func (w *checkpointWriter) Close() error { return w.f.Close() }
 // keys sorted — which makes two things possible. First, sharding: with
 // opts.Shards > 1, only jobs whose list position i satisfies
 // i % Shards == ShardIndex are run, so independent processes (or machines) can
-// split one sweep without coordination. Second, resumption: with a checkpoint
-// file configured, every finished job is appended as one JSON line, and pairs
-// already present in the file are loaded instead of re-run. Entries are keyed
-// by (experiment scope, iterations, benchmark, configuration), so a shared
-// file never serves runs across experiments or across workload lengths;
-// shards pointed at a shared file (or at per-shard files later concatenated)
-// merge into one result set.
+// split one sweep without coordination. Second, resumption: every finished
+// job is appended to the configured ResultStore (by default a JSONL
+// checkpoint file, Options.Checkpoint), and pairs already present in the
+// store are loaded instead of re-run. Entries are keyed by (experiment scope,
+// iterations, max-insts, benchmark, configuration), so a shared store never
+// serves runs across experiments or across workload lengths; shards pointed
+// at a shared file (or at per-shard files later concatenated) merge into one
+// result set.
+//
+// Planning and completion are observable through Options.Progress, and the
+// store is injectable through Options.Store — the simulation server uses both
+// to stream per-pair progress and share one content-addressed result cache
+// across jobs.
 //
 // Cancelling ctx stops dispatching new jobs; in-flight simulations finish,
-// are checkpointed, and runSweep returns ctx.Err().
-func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline.Config, opts Options) (map[string]map[string]stats.Run, sweepSummary, error) {
-	var sum sweepSummary
+// are recorded in the store, and runSweep returns ctx.Err().
+func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline.Config, opts Options) (map[string]map[string]stats.Run, Summary, error) {
+	var sum Summary
 	if opts.Shards > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards) {
 		return nil, sum, fmt.Errorf("experiments: shard index %d outside [0,%d)", opts.ShardIndex, opts.Shards)
 	}
@@ -240,18 +344,35 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		out[b] = make(map[string]stats.Run, len(keys))
 	}
 
-	done, corrupt, err := loadCheckpoint(opts.Checkpoint)
-	if err != nil {
-		return nil, sum, err
+	store := opts.Store
+	var fileStore *checkpointFileStore
+	if store == nil && opts.Checkpoint != "" {
+		fileStore = &checkpointFileStore{path: opts.Checkpoint}
+		store = fileStore
+		defer fileStore.Close()
 	}
-	sum.CorruptCheckpoint = corrupt
-	if corrupt > 0 {
-		fmt.Fprintf(os.Stderr, "warning: checkpoint %s: skipped %d corrupt line(s); the affected jobs will re-run\n",
-			opts.Checkpoint, corrupt)
+	done := make(map[string]stats.Run)
+	if store != nil {
+		entries, corrupt, err := store.Load()
+		if err != nil {
+			return nil, sum, err
+		}
+		sum.CorruptCheckpoint = corrupt
+		if corrupt > 0 {
+			name := opts.Checkpoint
+			if name == "" {
+				name = "result store"
+			}
+			fmt.Fprintf(os.Stderr, "warning: checkpoint %s: skipped %d corrupt line(s); the affected jobs will re-run\n",
+				name, corrupt)
+		}
+		for _, e := range entries {
+			done[e.Key()] = e.Run
+		}
 	}
 	var pending []sweepJob
 	for _, j := range jobs {
-		if run, ok := done[pairKey(opts.scope, opts.Iterations, j.benchmark, j.key)]; ok {
+		if run, ok := done[pairKey(opts.scope, opts.Iterations, opts.MaxInsts, j.benchmark, j.key)]; ok {
 			out[j.benchmark][j.key] = run
 			sum.Resumed++
 			continue
@@ -262,8 +383,18 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		}
 		pending = append(pending, j)
 	}
+	if opts.Progress != nil {
+		opts.Progress.Planned(sum.Total, sum.Resumed, sum.SkippedShard, len(pending))
+	}
 	if len(pending) == 0 {
 		return out, sum, ctx.Err()
+	}
+	// There is work to run: an unwritable checkpoint path must fail now,
+	// before minutes of simulation whose results it was meant to persist.
+	if fileStore != nil {
+		if err := fileStore.open(); err != nil {
+			return nil, sum, err
+		}
 	}
 
 	// Generate programs up front (cheap, single-threaded, deterministic),
@@ -282,14 +413,6 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		progs[j.benchmark] = p
 	}
 	traces := newTraceCache(progs, pending)
-
-	var ckpt *checkpointWriter
-	if opts.Checkpoint != "" {
-		if ckpt, err = openCheckpoint(opts.Checkpoint); err != nil {
-			return nil, sum, err
-		}
-		defer ckpt.Close()
-	}
 
 	type result struct {
 		job sweepJob
@@ -317,7 +440,11 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 					if err != nil {
 						return stats.Run{}, err
 					}
-					sim, err := pipeline.NewFromTrace(tr, j.cfg)
+					cfg := j.cfg
+					if opts.MaxInsts > 0 {
+						cfg.MaxInsts = opts.MaxInsts
+					}
+					sim, err := pipeline.NewFromTrace(tr, cfg)
 					if err != nil {
 						return stats.Run{}, err
 					}
@@ -353,15 +480,18 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		}
 		out[r.job.benchmark][r.job.key] = r.run
 		sum.Executed++
-		if ckpt != nil {
-			e := checkpointEntry{Experiment: opts.scope, Iterations: opts.Iterations,
-				Benchmark: r.job.benchmark, Config: r.job.key, Run: r.run}
-			if werr := ckpt.append(e); werr != nil && firstErr == nil {
+		e := CheckpointEntry{Experiment: opts.scope, Iterations: opts.Iterations, MaxInsts: opts.MaxInsts,
+			Benchmark: r.job.benchmark, Config: r.job.key, Run: r.run}
+		if store != nil {
+			if werr := store.Append(e); werr != nil && firstErr == nil {
 				firstErr = werr
 			}
 			if opts.afterCheckpoint != nil {
 				opts.afterCheckpoint(sum.Executed)
 			}
+		}
+		if opts.Progress != nil {
+			opts.Progress.PairDone(e)
 		}
 	}
 	if firstErr == nil {

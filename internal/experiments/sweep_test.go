@@ -26,11 +26,11 @@ func countCheckpointPairs(t *testing.T, path string) map[string]int {
 	counts := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
-		var e checkpointEntry
+		var e CheckpointEntry
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			t.Fatalf("malformed checkpoint line %q: %v", sc.Text(), err)
 		}
-		counts[pairKey(e.Experiment, e.Iterations, e.Benchmark, e.Config)]++
+		counts[e.Key()]++
 	}
 	return counts
 }
@@ -252,7 +252,7 @@ func TestCheckpointScopedPerExperiment(t *testing.T) {
 func TestCheckpointScopedByIterations(t *testing.T) {
 	ck := filepath.Join(t.TempDir(), "ck.jsonl")
 	cfgs := kindConfigs([]core.ConfigKind{core.Baseline}, 0)
-	run := func(iters int) sweepSummary {
+	run := func(iters int) Summary {
 		_, sum, err := runSweep(context.Background(), []string{"gzip"}, cfgs,
 			Options{Iterations: iters, Checkpoint: ck})
 		if err != nil {

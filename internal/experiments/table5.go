@@ -36,7 +36,7 @@ func Table5(opts Options) (*stats.Table, []Table5Row, error) {
 	return tbl, rows, err
 }
 
-func table5(ctx context.Context, opts Options) (*stats.Table, []Table5Row, sweepSummary, error) {
+func table5(ctx context.Context, opts Options) (*stats.Table, []Table5Row, Summary, error) {
 	opts.scope = "table5"
 	benchmarks := defaultBenchmarks(opts, false)
 	cfgs := kindConfigs([]core.ConfigKind{core.NoSQNoDelay, core.NoSQDelay}, 0)

@@ -1,0 +1,190 @@
+// Package simapi defines the wire types of the simulation service: the JSON
+// bodies exchanged between the HTTP server (internal/simserver, command
+// nosq-server) and its typed client (internal/simclient). Keeping them in a
+// package of their own lets client and server share one definition without
+// the client importing the server's queue and worker machinery.
+package simapi
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Job states. A job moves queued → running → one of the terminal states
+// (done, failed, canceled); a queued job may also go straight to canceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// TerminalState reports whether a job in the given state will never change
+// state again.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is a submitted unit of work: one experiment run over a
+// (benchmark × configuration × window) grid. The zero value of every field
+// except Experiment means "the experiment's default".
+type JobSpec struct {
+	// Experiment is the registry name to run (table5, fig2, ..., sweep).
+	Experiment string `json:"experiment"`
+	// Benchmarks restricts the run to a subset of benchmark names.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Iterations is the synthetic workload length per benchmark.
+	Iterations int `json:"iterations,omitempty"`
+	// MaxInsts bounds each simulation to N committed instructions.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Configs and Windows define the sweep experiment's grid (ignored by the
+	// table/figure experiments, exactly as in experiments.Options).
+	Configs []string `json:"configs,omitempty"`
+	Windows []int    `json:"windows,omitempty"`
+	// Priority orders the queue: higher runs first; equal priorities run in
+	// submission order.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Options converts the spec to the experiment subsystem's option struct.
+func (s JobSpec) Options() experiments.Options {
+	return experiments.Options{
+		Iterations: s.Iterations,
+		MaxInsts:   s.MaxInsts,
+		Benchmarks: s.Benchmarks,
+		Configs:    s.Configs,
+		Windows:    s.Windows,
+	}
+}
+
+// String renders the spec compactly for log lines.
+func (s JobSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", s.Experiment)
+	if len(s.Benchmarks) > 0 {
+		fmt.Fprintf(&b, " benchmarks=%s", strings.Join(s.Benchmarks, ","))
+	}
+	if s.Iterations > 0 {
+		fmt.Fprintf(&b, " iters=%d", s.Iterations)
+	}
+	if len(s.Configs) > 0 {
+		fmt.Fprintf(&b, " configs=%s", strings.Join(s.Configs, ","))
+	}
+	if len(s.Windows) > 0 {
+		fmt.Fprintf(&b, " windows=%v", s.Windows)
+	}
+	if s.Priority != 0 {
+		fmt.Fprintf(&b, " priority=%d", s.Priority)
+	}
+	return b.String()
+}
+
+// JobInfo is the server's view of one job, returned by the submit, list,
+// inspect and cancel endpoints.
+type JobInfo struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State string  `json:"state"`
+	// Error holds the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Deduped marks a submission that matched an already-active identical
+	// job: the returned job is the existing one, not a new copy.
+	Deduped   bool      `json:"deduped,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	// Pair accounting, populated once the job's sweep is planned.
+	// TotalPairs is the full (benchmark × configuration) grid size;
+	// CachedPairs were served from the result cache instead of simulated;
+	// ExecutedPairs counts pairs simulated so far.
+	TotalPairs    int `json:"total_pairs,omitempty"`
+	CachedPairs   int `json:"cached_pairs,omitempty"`
+	ExecutedPairs int `json:"executed_pairs,omitempty"`
+}
+
+// Event types of the per-job progress feed.
+const (
+	// EventState reports a job state transition (Event.State).
+	EventState = "state"
+	// EventPlanned reports the sweep plan (Event.Planned) once resume and
+	// shard filtering have decided what actually executes.
+	EventPlanned = "planned"
+	// EventPair reports one executed (benchmark, configuration) pair as its
+	// result lands (Event.Entry — the same record the checkpoint file gets).
+	EventPair = "pair"
+)
+
+// Event is one record of a job's progress feed, streamed as JSON lines (or
+// SSE data frames) by GET /api/v1/jobs/{id}/events. Seq numbers events from
+// 1 within a job, so a dropped stream resumes with ?from=<last seq>.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"`
+	Time time.Time `json:"time"`
+	// State is the job's new state (EventState events).
+	State string `json:"state,omitempty"`
+	// Error accompanies a terminal "failed" state event.
+	Error string `json:"error,omitempty"`
+	// Planned carries the job accounting of an EventPlanned event.
+	Planned *PlannedInfo `json:"planned,omitempty"`
+	// Entry carries the finished pair of an EventPair event, reusing the
+	// sweep engine's checkpoint entry format.
+	Entry *experiments.CheckpointEntry `json:"entry,omitempty"`
+}
+
+// PlannedInfo is the pair accounting of an EventPlanned event.
+type PlannedInfo struct {
+	// Total is the full grid size; Cached were served from the result cache;
+	// Pending will be simulated by this job.
+	Total   int `json:"total"`
+	Cached  int `json:"cached"`
+	Pending int `json:"pending"`
+}
+
+// Metrics is the /metricsz document.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	CodeRev       string  `json:"code_rev"`
+
+	// Queue and worker-pool state.
+	QueueDepth        int     `json:"queue_depth"`
+	WorkersTotal      int     `json:"workers_total"`
+	WorkersBusy       int     `json:"workers_busy"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+
+	// Job counters (cumulative since start).
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsDeduped   uint64 `json:"jobs_deduped"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+
+	// Result-cache state: entries resident, pairs served from cache (hits)
+	// versus simulated (misses), and the hit rate over both.
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Simulation throughput: committed instructions across all executed
+	// pairs, divided by cumulative worker-busy seconds.
+	InstsSimulated uint64  `json:"insts_simulated"`
+	InstsPerSecond float64 `json:"insts_per_second"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status      string   `json:"status"`
+	CodeRev     string   `json:"code_rev"`
+	Experiments []string `json:"experiments"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

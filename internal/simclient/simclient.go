@@ -1,0 +1,254 @@
+// Package simclient is the typed Go client for the simulation service
+// (internal/simserver, command nosq-server). It covers the whole REST
+// surface: submitting jobs, listing and inspecting them, cancelling,
+// following the per-job progress feed, and fetching finished reports.
+//
+// Typical flow:
+//
+//	c := simclient.New("http://127.0.0.1:8080", nil)
+//	info, err := c.Submit(ctx, simapi.JobSpec{Experiment: "fig2", Iterations: 100})
+//	info, err = c.Wait(ctx, info.ID)
+//	report, err := c.Report(ctx, info.ID, "json")
+package simclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/simapi"
+)
+
+// Client talks to one simulation server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). Pass a custom *http.Client to control timeouts
+// and transport; nil uses http.DefaultClient (no request timeout — streaming
+// endpoints are long-lived, so bound individual calls with their contexts).
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// APIError is a non-2xx response, carrying the HTTP status and the server's
+// error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("simclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// apiError decodes an error body from a non-2xx response.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb simapi.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return &APIError{Status: resp.StatusCode, Message: eb.Error}
+	}
+	return &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+}
+
+// do performs one JSON request/response round trip. in (when non-nil) is
+// marshalled as the request body; out (when non-nil) receives the decoded
+// 2xx response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a job spec. The returned info is the queued job — or, when
+// Deduped is set, an already-active identical job the submission collapsed
+// onto.
+func (c *Client) Submit(ctx context.Context, spec simapi.JobSpec) (simapi.JobInfo, error) {
+	var info simapi.JobInfo
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &info)
+	return info, err
+}
+
+// Job fetches one job's current info.
+func (c *Client) Job(ctx context.Context, id string) (simapi.JobInfo, error) {
+	var info simapi.JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Jobs lists jobs in submission order; state ("" = all) filters.
+func (c *Client) Jobs(ctx context.Context, state string) ([]simapi.JobInfo, error) {
+	path := "/api/v1/jobs"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
+	var infos []simapi.JobInfo
+	err := c.do(ctx, http.MethodGet, path, nil, &infos)
+	return infos, err
+}
+
+// Cancel cancels a queued or running job and returns its info afterwards.
+func (c *Client) Cancel(ctx context.Context, id string) (simapi.JobInfo, error) {
+	var info simapi.JobInfo
+	err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// Report fetches a finished job's report rendered in the given format
+// (text, markdown, json, or csv; "" = json).
+func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) {
+	path := "/api/v1/jobs/" + url.PathEscape(id) + "/report"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (simapi.Health, error) {
+	var h simapi.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches /metricsz.
+func (c *Client) Metrics(ctx context.Context) (simapi.Metrics, error) {
+	var m simapi.Metrics
+	err := c.do(ctx, http.MethodGet, "/metricsz", nil, &m)
+	return m, err
+}
+
+// ErrStopStreaming, returned by a StreamEvents callback, ends the stream
+// without error.
+var ErrStopStreaming = errors.New("simclient: stop streaming")
+
+// StreamEvents follows a job's progress feed as JSON lines, invoking fn for
+// every event with Seq > from. It returns nil when the job reaches a
+// terminal state (the server closes the feed), when fn returns
+// ErrStopStreaming, or fn's error otherwise.
+func (c *Client) StreamEvents(ctx context.Context, id string, from int, fn func(simapi.Event) error) error {
+	path := "/api/v1/jobs/" + url.PathEscape(id) + "/events"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev simapi.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("simclient: decoding event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrStopStreaming) {
+				return nil
+			}
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// info. It follows the event stream (so completion is observed immediately)
+// and falls back to polling if the stream breaks or ends early — a clean
+// EOF before a terminal event (proxy closing the connection) must not be
+// mistaken for completion.
+func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
+	err := c.StreamEvents(ctx, id, 0, func(ev simapi.Event) error {
+		if ev.Type == simapi.EventState && simapi.TerminalState(ev.State) {
+			return ErrStopStreaming
+		}
+		return nil
+	})
+	var apiErr *APIError
+	if errors.As(err, &apiErr) || ctx.Err() != nil {
+		return simapi.JobInfo{}, err
+	}
+	// Whatever the stream said, the job's own state decides: poll until
+	// terminal (immediately satisfied in the common stream-saw-it case).
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if simapi.TerminalState(info.State) {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package simserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/simapi"
+	"repro/internal/stats"
+)
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, simapi.ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec simapi.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	info, err := s.Submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if info.Deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	if state != "" && !validState(state) {
+		writeErr(w, http.StatusBadRequest, "unknown state filter %q", state)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Jobs(state))
+}
+
+func validState(s string) bool {
+	switch s {
+	case simapi.StateQueued, simapi.StateRunning, simapi.StateDone,
+		simapi.StateFailed, simapi.StateCanceled:
+		return true
+	}
+	return false
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.Cancel(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleEvents streams a job's progress feed from ?from= (exclusive, default
+// 0): every recorded event, then live events as they land, until the job
+// reaches a terminal state or the client goes away. The feed is Server-Sent
+// Events when the client asks for text/event-stream, JSON Lines otherwise —
+// both carry the same Event documents.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad from=%q", v)
+			return
+		}
+		from = n
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	for {
+		evs, state, notify := j.eventsSince(from)
+		for _, ev := range evs {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "data: %s\n\n", b)
+			} else {
+				w.Write(append(b, '\n'))
+			}
+			from = ev.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if simapi.TerminalState(state) {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReport serves a finished job's report in any stats.Table format.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = stats.FormatJSON
+	}
+	if err := stats.ValidateFormat(format); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info := j.info()
+	rep := j.result()
+	if rep == nil {
+		switch {
+		case info.State == simapi.StateFailed:
+			writeErr(w, http.StatusConflict, "job %s failed: %s", info.ID, info.Error)
+		case simapi.TerminalState(info.State):
+			writeErr(w, http.StatusConflict, "job %s was %s; no report", info.ID, info.State)
+		default:
+			writeErr(w, http.StatusConflict, "job %s is %s; report not ready", info.ID, info.State)
+		}
+		return
+	}
+	text, err := rep.Render(format)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	switch format {
+	case stats.FormatJSON:
+		w.Header().Set("Content-Type", "application/json")
+	case stats.FormatCSV:
+		w.Header().Set("Content-Type", "text/csv")
+	case stats.FormatMarkdown:
+		w.Header().Set("Content-Type", "text/markdown")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(text))
+}

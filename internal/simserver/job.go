@@ -1,0 +1,214 @@
+package simserver
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simapi"
+)
+
+// job is the server-side state of one submitted experiment run: the spec, the
+// lifecycle state machine, the append-only progress event log that streaming
+// clients follow, and (once done) the report.
+//
+// All mutable fields are guarded by mu. The event log is append-only;
+// followers snapshot a suffix under the lock and then wait on the notify
+// channel, which is closed and replaced on every append (a broadcast that
+// needs no subscriber registry).
+type job struct {
+	id       string
+	seq      int
+	spec     simapi.JobSpec
+	specHash string
+
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	cancelReq bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+
+	total    int
+	cached   int
+	executed int
+
+	report *experiments.Report
+	events []simapi.Event
+	notify chan struct{}
+
+	// heapIndex is maintained by jobHeap while the job is queued (-1 after).
+	heapIndex int
+}
+
+func newJob(id string, seq int, spec simapi.JobSpec, specHash string, now time.Time) *job {
+	j := &job{
+		id:        id,
+		seq:       seq,
+		spec:      spec,
+		specHash:  specHash,
+		state:     simapi.StateQueued,
+		submitted: now,
+		notify:    make(chan struct{}),
+		heapIndex: -1,
+	}
+	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: simapi.StateQueued, Time: now})
+	return j
+}
+
+// appendEventLocked assigns the next sequence number, appends, and wakes
+// followers. Callers must hold mu — except newJob, whose job is not yet
+// shared.
+func (j *job) appendEventLocked(ev simapi.Event) {
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// start transitions queued → running, reporting false if the job was
+// canceled before a worker claimed it (including a cancel that raced the
+// worker between queue pop and start).
+func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != simapi.StateQueued || j.cancelReq {
+		return false
+	}
+	j.state = simapi.StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: simapi.StateRunning, Time: now})
+	return true
+}
+
+// finish transitions running → a terminal state.
+func (j *job) finish(state, errMsg string, rep *experiments.Report, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if simapi.TerminalState(j.state) {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.report = rep
+	j.finished = now
+	j.cancel = nil
+	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: state, Error: errMsg, Time: now})
+}
+
+// markCanceledQueued cancels a job that never left the queue.
+func (j *job) markCanceledQueued(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != simapi.StateQueued {
+		return false
+	}
+	j.state = simapi.StateCanceled
+	j.finished = now
+	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: simapi.StateCanceled, Time: now})
+	return true
+}
+
+// requestCancel flags the job as cancel-requested and, if it is already
+// running, cancels its context (the sweep engine stops dispatching and the
+// worker records the canceled state). A popped-but-not-yet-started job sees
+// the flag in start and never runs. It reports whether the job was still
+// cancelable.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if simapi.TerminalState(j.state) {
+		return false
+	}
+	j.cancelReq = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// planned and pairDone record sweep progress (called by the job's
+// ProgressSink).
+func (j *job) planned(total, cached, pending int, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.total = total
+	j.cached = cached
+	j.appendEventLocked(simapi.Event{
+		Type:    simapi.EventPlanned,
+		Time:    now,
+		Planned: &simapi.PlannedInfo{Total: total, Cached: cached, Pending: pending},
+	})
+}
+
+func (j *job) pairDone(e experiments.CheckpointEntry, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.executed++
+	entry := e
+	j.appendEventLocked(simapi.Event{Type: simapi.EventPair, Time: now, Entry: &entry})
+}
+
+// info snapshots the job as its wire representation.
+func (j *job) info() simapi.JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return simapi.JobInfo{
+		ID:            j.id,
+		Spec:          j.spec,
+		State:         j.state,
+		Error:         j.errMsg,
+		Submitted:     j.submitted,
+		Started:       j.started,
+		Finished:      j.finished,
+		TotalPairs:    j.total,
+		CachedPairs:   j.cached,
+		ExecutedPairs: j.executed,
+	}
+}
+
+// eventsSince returns the events with Seq > from, the job's current state,
+// and the channel that will be closed on the next append.
+func (j *job) eventsSince(from int) (evs []simapi.Event, state string, notify <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.state, j.notify
+}
+
+// result returns the finished job's report (nil unless state is done).
+func (j *job) result() *experiments.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// jobSink adapts a job (plus the shared cache and metrics counters) to
+// experiments.ProgressSink.
+type jobSink struct {
+	j     *job
+	cache *ResultCache
+	m     *metrics
+}
+
+func (s *jobSink) Planned(total, resumed, skippedShard, pending int) {
+	// Server jobs run unsharded with the shared cache as their only store, so
+	// every resumed pair is a cache hit.
+	s.cache.RecordHits(uint64(resumed))
+	s.j.planned(total, resumed, pending, time.Now())
+}
+
+func (s *jobSink) PairDone(e experiments.CheckpointEntry) {
+	s.cache.RecordMisses(1)
+	s.m.insts.Add(e.Run.Committed)
+	s.j.pairDone(e, time.Now())
+}

@@ -1,0 +1,114 @@
+package simserver
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is the server's pending-job queue: a priority queue (higher
+// priority first, submission order within a priority) that worker goroutines
+// block on. Jobs canceled while queued are removed in place, so a canceled
+// job never reaches a worker.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job, reporting false when the queue is closed (shutdown):
+// the job will never be picked up and the caller must dispose of it.
+func (q *jobQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a job is available or the queue is closed; ok is false
+// only on close.
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*job), true
+}
+
+// remove takes a still-queued job out of the queue, reporting whether it was
+// present (false means a worker already claimed it).
+func (q *jobQueue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.heapIndex < 0 || j.heapIndex >= len(q.heap) || q.heap[j.heapIndex] != j {
+		return false
+	}
+	heap.Remove(&q.heap, j.heapIndex)
+	return true
+}
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// close wakes every blocked worker; subsequent pops return ok=false once the
+// queue drains. Pending jobs left in the queue are returned so the server
+// can mark them canceled.
+func (q *jobQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	left := make([]*job, len(q.heap))
+	copy(left, q.heap)
+	q.heap = nil
+	q.cond.Broadcast()
+	return left
+}
+
+// jobHeap implements container/heap: higher priority first, then lower
+// submission sequence.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if h[i].spec.Priority != h[k].spec.Priority {
+		return h[i].spec.Priority > h[k].spec.Priority
+	}
+	return h[i].seq < h[k].seq
+}
+func (h jobHeap) Swap(i, k int) {
+	h[i], h[k] = h[k], h[i]
+	h[i].heapIndex = i
+	h[k].heapIndex = k
+}
+func (h *jobHeap) Push(x interface{}) {
+	j := x.(*job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*h = old[:n-1]
+	return j
+}

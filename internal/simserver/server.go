@@ -1,0 +1,378 @@
+// Package simserver is the simulation-as-a-service layer over the experiment
+// subsystem: a long-lived HTTP server (command nosq-server) that accepts
+// experiment jobs from many clients, runs them on a bounded worker pool, and
+// deduplicates work at two levels — identical in-flight submissions collapse
+// onto one job, and every finished (benchmark, configuration) pair lands in a
+// content-addressed result cache that later (or overlapping) grids resume
+// from instead of re-simulating.
+//
+// The REST surface (see DESIGN.md for the full contract):
+//
+//	POST   /api/v1/jobs               submit a JobSpec → JobInfo
+//	GET    /api/v1/jobs               list jobs (?state= filters)
+//	GET    /api/v1/jobs/{id}          inspect one job
+//	DELETE /api/v1/jobs/{id}          cancel (queued or running)
+//	GET    /api/v1/jobs/{id}/events   progress feed, JSONL or SSE (?from=)
+//	GET    /api/v1/jobs/{id}/report   finished report (?format=text|markdown|json|csv)
+//	GET    /healthz                   liveness + registered experiments
+//	GET    /metricsz                  queue/worker/cache/throughput counters
+//
+// internal/simclient is the typed Go client for this surface.
+package simserver
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simapi"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds the number of concurrently executing jobs
+	// (0 = GOMAXPROCS). Each job's sweep additionally fans out its own
+	// simulations, bounded by Parallelism.
+	Workers int
+	// Parallelism is passed to each job as experiments.Options.Parallelism
+	// (0 = GOMAXPROCS). With several workers, keep Workers × Parallelism
+	// near the core count.
+	Parallelism int
+	// CachePath persists the result cache as JSONL ("" = memory-only).
+	CachePath string
+	// CodeRev overrides the binary's detected code revision (tests only;
+	// "" = CodeRevision()).
+	CodeRev string
+	// MaxIterations rejects specs asking for longer workloads (0 = no cap).
+	// A shared server would otherwise let one client monopolize the pool.
+	MaxIterations int
+	// MaxFinishedJobs bounds how many terminal jobs (with their event logs
+	// and reports) stay queryable; the oldest are evicted past the cap
+	// (0 = 1000). Results live on in the result cache regardless — an
+	// evicted job's grid re-resolves from cache on re-submission — so this
+	// only bounds job metadata, keeping a long-lived server's memory flat.
+	MaxFinishedJobs int
+	// Logf, if set, receives one line per job lifecycle edge ("" = silent).
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the simulation service: job registry, queue, worker pool, result
+// cache, and the HTTP handler over them. Create with New, start the workers
+// with Start, serve Handler, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	rev     string
+	cache   *ResultCache
+	queue   *jobQueue
+	metrics *metrics
+	mux     *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job            // submission order, for listing
+	finished []*job            // terminal jobs in completion order, for bounded retention
+	active   map[string]string // spec hash → job id, for dedup
+	nextSeq  int
+}
+
+// New builds a server and warms its result cache from cfg.CachePath. The
+// returned corrupt count is the number of unreadable cache lines skipped.
+func New(cfg Config) (s *Server, corrupt int, err error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxFinishedJobs <= 0 {
+		cfg.MaxFinishedJobs = 1000
+	}
+	rev := cfg.CodeRev
+	if rev == "" {
+		rev = CodeRevision()
+	}
+	cache, corrupt, err := OpenResultCache(cfg.CachePath, rev)
+	if err != nil {
+		return nil, corrupt, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s = &Server{
+		cfg:     cfg,
+		rev:     rev,
+		cache:   cache,
+		queue:   newJobQueue(),
+		metrics: &metrics{start: time.Now()},
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*job),
+		active:  make(map[string]string),
+	}
+	s.routes()
+	return s, corrupt, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops accepting work, cancels running jobs, waits for the workers
+// (or ctx), and closes the result cache.
+func (s *Server) Shutdown(ctx context.Context) error {
+	for _, j := range s.queue.close() {
+		if j.markCanceledQueued(time.Now()) {
+			s.finishAccounting(j, simapi.StateCanceled)
+		}
+	}
+	s.stop() // cancels every running job's context
+	doneCh := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(doneCh)
+	}()
+	var err error
+	select {
+	case <-doneCh:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := s.cache.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Cache exposes the result cache (metrics, tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates and enqueues a spec, deduplicating against active
+// (queued or running) jobs with an identical spec: those return the existing
+// job with Deduped set instead of queuing a copy. Completed jobs do not
+// dedup — a re-submission runs again and is served from the result cache.
+func (s *Server) Submit(spec simapi.JobSpec) (simapi.JobInfo, error) {
+	if _, err := experiments.Lookup(spec.Experiment); err != nil {
+		return simapi.JobInfo{}, err
+	}
+	if spec.Iterations < 0 {
+		return simapi.JobInfo{}, fmt.Errorf("simserver: negative iterations %d", spec.Iterations)
+	}
+	if s.cfg.MaxIterations > 0 && spec.Iterations > s.cfg.MaxIterations {
+		return simapi.JobInfo{}, fmt.Errorf("simserver: iterations %d exceeds the server cap %d",
+			spec.Iterations, s.cfg.MaxIterations)
+	}
+	for _, w := range spec.Windows {
+		if w <= 0 {
+			return simapi.JobInfo{}, fmt.Errorf("simserver: invalid window size %d", w)
+		}
+	}
+	hash, err := specHash(spec)
+	if err != nil {
+		return simapi.JobInfo{}, err
+	}
+
+	s.mu.Lock()
+	if id, ok := s.active[hash]; ok {
+		j := s.jobs[id]
+		s.mu.Unlock()
+		s.metrics.deduped.Add(1)
+		info := j.info()
+		info.Deduped = true
+		return info, nil
+	}
+	s.nextSeq++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextSeq), s.nextSeq, spec, hash, time.Now())
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.active[hash] = j.id
+	s.mu.Unlock()
+
+	if !s.queue.push(j) {
+		// Shutdown closed the queue between registration and push: no worker
+		// will ever see the job, so dispose of it and refuse the submission.
+		j.markCanceledQueued(time.Now())
+		s.finishAccounting(j, simapi.StateCanceled)
+		return simapi.JobInfo{}, ErrShuttingDown
+	}
+	s.metrics.submitted.Add(1)
+	s.logf("submitted %s: %s", j.id, spec)
+	return j.info(), nil
+}
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun.
+var ErrShuttingDown = errors.New("simserver: server is shutting down")
+
+// specHash canonicalizes a spec's work-defining fields (priority excluded —
+// the same grid at a different priority is still the same work).
+func specHash(spec simapi.JobSpec) (string, error) {
+	spec.Priority = 0
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:]), nil
+}
+
+// Job returns a job's current info.
+func (s *Server) Job(id string) (simapi.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return simapi.JobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// Jobs lists all jobs in submission order, optionally filtered by state.
+func (s *Server) Jobs(state string) []simapi.JobInfo {
+	s.mu.Lock()
+	order := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]simapi.JobInfo, 0, len(order))
+	for _, j := range order {
+		info := j.info()
+		if state == "" || info.State == state {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. It reports the job's info after
+// the request and whether the job existed.
+func (s *Server) Cancel(id string) (simapi.JobInfo, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return simapi.JobInfo{}, false
+	}
+	// Queued: take it out of the queue and mark it directly. Running: cancel
+	// its context and let the worker record the terminal state.
+	if s.queue.remove(j) && j.markCanceledQueued(time.Now()) {
+		s.finishAccounting(j, simapi.StateCanceled)
+		s.logf("canceled %s while queued", j.id)
+	} else if j.requestCancel() {
+		s.logf("cancel requested for running %s", j.id)
+	}
+	return j.info(), true
+}
+
+// worker executes jobs from the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		// Canceled between pop and start: record the terminal state here,
+		// since no worker will.
+		if j.markCanceledQueued(time.Now()) {
+			s.finishAccounting(j, simapi.StateCanceled)
+		}
+		return
+	}
+	s.metrics.jobStarted(j.seq)
+	startT := time.Now()
+	defer s.metrics.jobEnded(j.seq)
+
+	exp, err := experiments.Lookup(j.spec.Experiment)
+	if err != nil {
+		j.finish(simapi.StateFailed, err.Error(), nil, time.Now())
+		s.finishAccounting(j, simapi.StateFailed)
+		return
+	}
+	opts := j.spec.Options()
+	opts.Parallelism = s.cfg.Parallelism
+	opts.Store = s.cache
+	opts.Progress = &jobSink{j: j, cache: s.cache, m: s.metrics}
+
+	rep, err := exp.Run(jctx, opts)
+	switch {
+	case err == nil:
+		j.finish(simapi.StateDone, "", rep, time.Now())
+		s.finishAccounting(j, simapi.StateDone)
+		s.logf("finished %s in %v", j.id, time.Since(startT).Round(time.Millisecond))
+	case errors.Is(err, context.Canceled):
+		j.finish(simapi.StateCanceled, "", nil, time.Now())
+		s.finishAccounting(j, simapi.StateCanceled)
+		s.logf("canceled %s", j.id)
+	default:
+		j.finish(simapi.StateFailed, err.Error(), nil, time.Now())
+		s.finishAccounting(j, simapi.StateFailed)
+		s.logf("failed %s: %v", j.id, err)
+	}
+}
+
+// finishAccounting updates terminal-state counters, releases the job's
+// dedup slot, and evicts the oldest terminal jobs past the retention cap —
+// without it a long-lived server's job registry (and every job's event log)
+// would grow forever.
+func (s *Server) finishAccounting(j *job, state string) {
+	switch state {
+	case simapi.StateDone:
+		s.metrics.done.Add(1)
+	case simapi.StateFailed:
+		s.metrics.failed.Add(1)
+	case simapi.StateCanceled:
+		s.metrics.canceled.Add(1)
+	}
+	s.mu.Lock()
+	if s.active[j.specHash] == j.id {
+		delete(s.active, j.specHash)
+	}
+	s.finished = append(s.finished, j)
+	for len(s.finished) > s.cfg.MaxFinishedJobs {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old.id)
+		for i, oj := range s.order {
+			if oj == old {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Health assembles the /healthz document.
+func (s *Server) Health() simapi.Health {
+	names := experiments.Names()
+	sort.Strings(names)
+	return simapi.Health{Status: "ok", CodeRev: s.rev, Experiments: names}
+}
+
+// Metrics assembles the /metricsz document.
+func (s *Server) Metrics() simapi.Metrics {
+	return s.metrics.snapshot(s.queue.depth(), s.cfg.Workers, s.cache, s.rev)
+}
