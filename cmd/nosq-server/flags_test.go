@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(workers, parallel int, lease, poll time.Duration) bool {
+		return validateFlags(workers, parallel, lease, poll) == nil
+	}
+	if !ok(4, 4, 15*time.Second, 500*time.Millisecond) {
+		t.Error("sane defaults rejected")
+	}
+	cases := []struct {
+		name              string
+		workers, parallel int
+		leaseTTL, pollIvl time.Duration
+	}{
+		{"zero workers", 0, 4, time.Second, time.Second},
+		{"negative workers", -1, 4, time.Second, time.Second},
+		{"zero parallel", 4, 0, time.Second, time.Second},
+		{"negative parallel", 4, -2, time.Second, time.Second},
+		{"zero lease TTL", 4, 4, 0, time.Second},
+		{"negative lease TTL", 4, 4, -time.Second, time.Second},
+		{"zero poll interval", 4, 4, time.Second, 0},
+		{"negative poll interval", 4, 4, time.Second, -time.Millisecond},
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.workers, c.parallel, c.leaseTTL, c.pollIvl); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}

@@ -3,10 +3,16 @@
 // executes them on a bounded worker pool, and serves repeated or overlapping
 // grids from a content-addressed result cache instead of re-simulating.
 //
+// It is also the coordinator of the distributed execution fleet: once one or
+// more nosq-worker processes register, jobs are split into leased shard
+// tasks and fanned out to them instead of simulating in-process (see
+// DESIGN.md "Distributed execution").
+//
 // Examples:
 //
 //	nosq-server -addr :8080 -cache results.jsonl
 //	nosq-server -addr 127.0.0.1:0 -workers 2 -parallel 4
+//	nosq-server -addr :8080 -lease-ttl 30s   # then: nosq-worker -server http://host:8080
 //
 // Submit and follow jobs with curl (see README "Running the server") or the
 // typed client in internal/simclient:
@@ -26,31 +32,59 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/simserver"
 )
 
+// validateFlags rejects flag values that would make the server hang (a
+// zero-worker pool never pops a job) or spin (a zero poll interval has
+// remote workers hammering the lease endpoint).
+func validateFlags(workers, parallel int, leaseTTL, pollInterval time.Duration) error {
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d (a server without workers would queue jobs forever)", workers)
+	}
+	if parallel <= 0 {
+		return fmt.Errorf("-parallel must be positive, got %d", parallel)
+	}
+	if leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v", leaseTTL)
+	}
+	if pollInterval <= 0 {
+		return fmt.Errorf("-poll-interval must be positive, got %v (a zero interval would have workers spin on the lease endpoint)", pollInterval)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers  = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per job")
 		cache    = flag.String("cache", "", "persist the result cache to this JSONL file (default: memory only)")
 		maxIters = flag.Int("max-iters", 0, "reject jobs asking for more workload iterations (0 = no cap)")
 		maxJobs  = flag.Int("max-finished", 0, "retain at most N finished jobs' metadata; oldest evicted (0 = 1000)")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second, "remote shard-task lease TTL; an expired lease re-queues the task")
+		pollIvl  = flag.Duration("poll-interval", 500*time.Millisecond, "idle polling interval suggested to remote workers")
 		quiet    = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nosq-server: ", log.LstdFlags)
+	if err := validateFlags(*workers, *parallel, *leaseTTL, *pollIvl); err != nil {
+		logger.Print(err)
+		os.Exit(2)
+	}
 	cfg := simserver.Config{
 		Workers:         *workers,
 		Parallelism:     *parallel,
 		CachePath:       *cache,
 		MaxIterations:   *maxIters,
 		MaxFinishedJobs: *maxJobs,
+		LeaseTTL:        *leaseTTL,
+		PollInterval:    *pollIvl,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

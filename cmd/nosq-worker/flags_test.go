@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(4, 500*time.Millisecond, 0); err != nil {
+		t.Errorf("sane defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name      string
+		parallel  int
+		pollIvl   time.Duration
+		pairDelay time.Duration
+	}{
+		{"zero parallel", 0, time.Second, 0},
+		{"negative parallel", -1, time.Second, 0},
+		{"zero poll interval", 4, 0, 0},
+		{"negative poll interval", 4, -time.Second, 0},
+		{"negative pair delay", 4, time.Second, -time.Millisecond},
+	}
+	for _, c := range cases {
+		if err := validateFlags(c.parallel, c.pollIvl, c.pairDelay); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+//go:build integration
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/simapi"
+	"repro/internal/simclient"
+)
+
+// startServer boots a real nosq-server binary on a random port and returns
+// its base URL plus a stop function (SIGTERM, wait).
+func startServer(t *testing.T, bin string, args ...string) (baseURL string, stop func()) {
+	t.Helper()
+	srv := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		srv.Process.Signal(syscall.SIGTERM)
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("server exited uncleanly: %v\nstderr:\n%s", err, stderr.String())
+			}
+		case <-time.After(30 * time.Second):
+			srv.Process.Kill()
+			t.Error("server did not exit on SIGTERM")
+		}
+	}
+	t.Cleanup(stop)
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line on stdout; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	i := strings.Index(line, "http://")
+	if i < 0 {
+		t.Fatalf("unexpected listen line %q", line)
+	}
+	return strings.TrimSpace(line[i:]), stop
+}
+
+// startWorker boots a nosq-worker binary pointed at the coordinator and
+// returns its process (for killing) plus a graceful stop function.
+func startWorker(t *testing.T, bin, serverURL, name string, extra ...string) (*exec.Cmd, func()) {
+	t.Helper()
+	args := append([]string{"-server", serverURL, "-name", name, "-parallel", "2",
+		"-poll-interval", "25ms"}, extra...)
+	w := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	w.Stderr = &stderr
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan struct{})
+	go func() { w.Wait(); close(exited) }()
+	stopped := false
+	stopFn := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		w.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exited:
+		case <-time.After(15 * time.Second):
+			w.Process.Kill()
+			t.Errorf("worker %s did not exit on SIGTERM; stderr:\n%s", name, stderr.String())
+		}
+	}
+	t.Cleanup(func() {
+		select {
+		case <-exited: // already gone (killed by the test)
+		default:
+			stopFn()
+		}
+	})
+	return w, stopFn
+}
+
+func waitRemoteWorkers(t *testing.T, c *simclient.Client, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		m, err := c.Metrics(ctx)
+		if err == nil && m.RemoteWorkers == n {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("fleet never reached %d workers", n)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// TestDistributedIntegration is the acceptance test of distributed sweep
+// execution with real binaries: one coordinator plus two nosq-worker
+// processes run a fig2 grid, one worker is SIGKILLed mid-task to force a
+// lease-expiry re-queue, and the merged report must still be byte-identical
+// to a single-node run of the same job.
+//
+// Run with: go test -tags integration ./cmd/nosq-worker
+func TestDistributedIntegration(t *testing.T) {
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "nosq-server")
+	workerBin := filepath.Join(dir, "nosq-worker")
+	for bin, pkg := range map[string]string{serverBin: "../nosq-server", workerBin: "."} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	spec := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip", "applu"}, Iterations: 40}
+
+	// Reference: the same job on a worker-less single node.
+	refURL, refStop := startServer(t, serverBin, "-workers", "1")
+	refC := simclient.New(refURL, nil)
+	refInfo, err := refC.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refInfo, err = refC.Wait(ctx, refInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if refInfo.State != simapi.StateDone || refInfo.ExecutedPairs == 0 {
+		t.Fatalf("reference job = %+v", refInfo)
+	}
+	refJSON, err := refC.Report(ctx, refInfo.ID, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := refC.Report(ctx, refInfo.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStop()
+
+	// Distributed: coordinator with a short lease TTL plus two throttled
+	// workers (the per-pair delay keeps both tasks in flight long enough to
+	// kill one worker mid-task deterministically).
+	coordURL, _ := startServer(t, serverBin, "-workers", "1", "-lease-ttl", "1500ms")
+	c := simclient.New(coordURL, nil)
+	victim, _ := startWorker(t, workerBin, coordURL, "victim", "-pair-delay", "250ms")
+	startWorker(t, workerBin, coordURL, "survivor", "-pair-delay", "250ms")
+	waitRemoteWorkers(t, c, 2)
+
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL the victim as soon as the first pair lands: with 10 pairs split
+	// across two ~250ms/pair tasks, both workers are still mid-task, so the
+	// victim dies holding a lease with undelivered pairs.
+	sawPair := make(chan struct{})
+	go c.StreamEvents(ctx, info.ID, 0, func(ev simapi.Event) error {
+		if ev.Type == simapi.EventPair {
+			close(sawPair)
+			return simclient.ErrStopStreaming
+		}
+		return nil
+	})
+	select {
+	case <-sawPair:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("no pair event before timeout")
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	if info, err = c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != simapi.StateDone {
+		t.Fatalf("distributed job = %+v, want done despite the killed worker", info)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TasksRequeued == 0 {
+		t.Error("killing a worker mid-task did not re-queue its leased shard")
+	}
+	if m.RemotePairs != uint64(info.ExecutedPairs) {
+		t.Errorf("remote pairs = %d, want every executed pair (%d)", m.RemotePairs, info.ExecutedPairs)
+	}
+
+	distJSON, err := c.Report(ctx, info.ID, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distCSV, err := c.Report(ctx, info.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, distJSON) {
+		t.Errorf("JSON report differs from single-node run:\n--- single-node ---\n%s\n--- distributed ---\n%s",
+			refJSON, distJSON)
+	}
+	if !bytes.Equal(refCSV, distCSV) {
+		t.Errorf("CSV report differs from single-node run:\n--- single-node ---\n%s\n--- distributed ---\n%s",
+			refCSV, distCSV)
+	}
+}
+
+// TestFlagValidationIntegration: both binaries must exit non-zero with a
+// clear message on non-positive -workers/-poll-interval instead of hanging
+// or spinning.
+func TestFlagValidationIntegration(t *testing.T) {
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "nosq-server")
+	workerBin := filepath.Join(dir, "nosq-worker")
+	for bin, pkg := range map[string]string{serverBin: "../nosq-server", workerBin: "."} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	cases := []struct {
+		bin  string
+		args []string
+		want string
+	}{
+		{serverBin, []string{"-workers", "0"}, "-workers must be positive"},
+		{serverBin, []string{"-workers", "-3"}, "-workers must be positive"},
+		{serverBin, []string{"-poll-interval", "0s"}, "-poll-interval must be positive"},
+		{workerBin, []string{"-server", "http://127.0.0.1:1", "-poll-interval", "0s"}, "-poll-interval must be positive"},
+		{workerBin, []string{"-server", "http://127.0.0.1:1", "-parallel", "0"}, "-parallel must be positive"},
+		{workerBin, []string{}, "-server is required"},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(tc.bin, tc.args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("%s %v: exited 0, want failure", filepath.Base(tc.bin), tc.args)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s %v: output %q does not mention %q", filepath.Base(tc.bin), tc.args, out, tc.want)
+		}
+	}
+}

@@ -48,6 +48,22 @@ type Options struct {
 	Shards     int
 	ShardIndex int
 
+	// Slice restricts execution to the contiguous positions [Start, End) of
+	// the deterministic pair order (nil = no restriction). Pairs outside the
+	// slice are skipped exactly like other shards' pairs under Shards. The
+	// distributed coordinator leases such slices to remote workers as shard
+	// tasks; Slice composes with a seeded Store, so a slice spanning
+	// already-resolved pairs resumes them instead of re-simulating.
+	Slice *PairSlice
+
+	// Executor, if set, replaces the local worker pool: the engine plans the
+	// sweep (resume, shard and slice filtering, progress events, the result
+	// store) and then hands the pending pairs to the executor instead of
+	// simulating them in-process. The simulation coordinator uses this seam
+	// to fan pair slices out to remote workers while keeping reports
+	// byte-identical to a local run.
+	Executor Executor
+
 	// MaxInsts bounds each simulation to N committed instructions
 	// (0 = unbounded). It is part of a run's identity in the result store: a
 	// resume under a different bound re-runs rather than serving stale rows.

@@ -92,6 +92,55 @@ type sweepJob struct {
 	cfg       pipeline.Config
 }
 
+// PairSlice restricts a run to the contiguous job-list positions
+// [Start, End) of the sweep's deterministic pair order. Unlike the modulo
+// sharding of Options.Shards, a slice is a dense range — the unit the
+// distributed coordinator leases to one remote worker as a shard task.
+type PairSlice struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// PairJob identifies one pending (benchmark, configuration) simulation by
+// its position in the full deterministic pair order. It is the unit of work
+// an Executor is handed: enough to address the pair remotely (a remote
+// worker re-derives the grid from the job spec and selects by index), and
+// enough for the engine to fold the result back into the sweep.
+type PairJob struct {
+	Index     int    `json:"index"`
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+}
+
+// ExecRequest is the engine's side of a remote execution: the pending pairs
+// after resume and shard filtering, the already-resolved entries a remote
+// slice may span, and the callback that lands results.
+type ExecRequest struct {
+	// Pending lists the pairs to execute, in ascending Index order (a
+	// subsequence of the full deterministic pair order).
+	Pending []PairJob
+	// Resumed maps full-order indices that were already resolved from the
+	// result store to their entries. A contiguous slice [Start, End) leased
+	// over the full order may span resolved pairs; sending their entries
+	// along lets the remote worker resume them instead of re-simulating.
+	Resumed map[int]CheckpointEntry
+	// Emit reports one executed pair's measurements. It is safe for
+	// concurrent use, idempotent per pair (a duplicate emission — e.g. a
+	// re-queued shard task whose original worker already delivered some
+	// pairs — is ignored), and must not be called after the Executor
+	// returns.
+	Emit func(PairJob, stats.Run)
+}
+
+// Executor runs a sweep's pending pairs somewhere other than the local
+// worker pool — the simulation coordinator installs one that leases
+// contiguous slices of the pair order to remote workers. The engine still
+// owns planning, resume, the result store, and progress events; the
+// executor owns only raw pair execution. Returning an error fails the sweep
+// (pairs already emitted are still recorded in the store, exactly like a
+// local run with a failing pair).
+type Executor func(ctx context.Context, req ExecRequest) error
+
 // Summary describes how a sweep's job list was disposed of.
 type Summary struct {
 	// Total is the size of the full (benchmark × configuration) grid.
@@ -303,7 +352,8 @@ func (s *checkpointFileStore) Close() error {
 // keys sorted — which makes two things possible. First, sharding: with
 // opts.Shards > 1, only jobs whose list position i satisfies
 // i % Shards == ShardIndex are run, so independent processes (or machines) can
-// split one sweep without coordination. Second, resumption: every finished
+// split one sweep without coordination (opts.Slice selects a contiguous
+// position range instead — the coordinated, leased variant of the same idea). Second, resumption: every finished
 // job is appended to the configured ResultStore (by default a JSONL
 // checkpoint file, Options.Checkpoint), and pairs already present in the
 // store are loaded instead of re-run. Entries are keyed by (experiment scope,
@@ -323,6 +373,9 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 	var sum Summary
 	if opts.Shards > 1 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.Shards) {
 		return nil, sum, fmt.Errorf("experiments: shard index %d outside [0,%d)", opts.ShardIndex, opts.Shards)
+	}
+	if opts.Slice != nil && (opts.Slice.Start < 0 || opts.Slice.End < opts.Slice.Start) {
+		return nil, sum, fmt.Errorf("experiments: invalid pair slice [%d,%d)", opts.Slice.Start, opts.Slice.End)
 	}
 
 	keys := make([]string, 0, len(cfgs))
@@ -351,7 +404,7 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		store = fileStore
 		defer fileStore.Close()
 	}
-	done := make(map[string]stats.Run)
+	done := make(map[string]CheckpointEntry)
 	if store != nil {
 		entries, corrupt, err := store.Load()
 		if err != nil {
@@ -367,17 +420,23 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 				name, corrupt)
 		}
 		for _, e := range entries {
-			done[e.Key()] = e.Run
+			done[e.Key()] = e
 		}
 	}
 	var pending []sweepJob
+	resumed := make(map[int]CheckpointEntry)
 	for _, j := range jobs {
-		if run, ok := done[pairKey(opts.scope, opts.Iterations, opts.MaxInsts, j.benchmark, j.key)]; ok {
-			out[j.benchmark][j.key] = run
+		if e, ok := done[pairKey(opts.scope, opts.Iterations, opts.MaxInsts, j.benchmark, j.key)]; ok {
+			out[j.benchmark][j.key] = e.Run
+			resumed[j.index] = e
 			sum.Resumed++
 			continue
 		}
 		if opts.Shards > 1 && j.index%opts.Shards != opts.ShardIndex {
+			sum.SkippedShard++
+			continue
+		}
+		if opts.Slice != nil && (j.index < opts.Slice.Start || j.index >= opts.Slice.End) {
 			sum.SkippedShard++
 			continue
 		}
@@ -395,6 +454,54 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		if err := fileStore.open(); err != nil {
 			return nil, sum, err
 		}
+	}
+
+	// A configured Executor takes over raw pair execution (the distributed
+	// coordinator leases pair slices to remote workers); the engine keeps
+	// planning, the store, progress events, and result assembly, so reports
+	// merge byte-identically to a locally executed run.
+	if opts.Executor != nil {
+		var mu sync.Mutex
+		var firstErr error
+		req := ExecRequest{
+			Pending: make([]PairJob, len(pending)),
+			Resumed: resumed,
+		}
+		for i, j := range pending {
+			req.Pending[i] = PairJob{Index: j.index, Benchmark: j.benchmark, Config: j.key}
+		}
+		req.Emit = func(pj PairJob, run stats.Run) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := out[pj.Benchmark][pj.Config]; dup {
+				return
+			}
+			out[pj.Benchmark][pj.Config] = run
+			sum.Executed++
+			e := CheckpointEntry{Experiment: opts.scope, Iterations: opts.Iterations, MaxInsts: opts.MaxInsts,
+				Benchmark: pj.Benchmark, Config: pj.Config, Run: run}
+			if store != nil {
+				if werr := store.Append(e); werr != nil && firstErr == nil {
+					firstErr = werr
+				}
+			}
+			if opts.Progress != nil {
+				opts.Progress.PairDone(e)
+			}
+		}
+		execErr := opts.Executor(ctx, req)
+		mu.Lock()
+		defer mu.Unlock()
+		if execErr == nil {
+			execErr = firstErr
+		}
+		if execErr == nil {
+			execErr = ctx.Err()
+		}
+		// Pairs the executor never delivered (its error names why) are the
+		// distributed analogue of failed local simulations.
+		sum.Failed = len(pending) - sum.Executed
+		return out, sum, execErr
 	}
 
 	// Generate programs up front (cheap, single-threaded, deterministic),

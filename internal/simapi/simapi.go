@@ -175,6 +175,18 @@ type Metrics struct {
 	// pairs, divided by cumulative worker-busy seconds.
 	InstsSimulated uint64  `json:"insts_simulated"`
 	InstsPerSecond float64 `json:"insts_per_second"`
+
+	// Distributed-fleet state: live registered remote workers, shard tasks
+	// currently queued or leased, and cumulative task counters. RemotePairs
+	// counts pairs whose measurements were delivered by remote workers;
+	// TasksRequeued counts leases that expired (worker presumed lost) and
+	// sent their task back to the queue.
+	RemoteWorkers  int    `json:"remote_workers"`
+	TasksQueued    int    `json:"tasks_queued"`
+	TasksLeased    int    `json:"tasks_leased"`
+	TasksCompleted uint64 `json:"tasks_completed"`
+	TasksRequeued  uint64 `json:"tasks_requeued"`
+	RemotePairs    uint64 `json:"remote_pairs"`
 }
 
 // Health is the /healthz document.

@@ -1,0 +1,103 @@
+package simapi
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same type, and
+// reports it; the caller compares.
+func roundTrip(t *testing.T, v interface{}) interface{} {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v)).Interface()
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("unmarshal %T: %v\n%s", v, err, b)
+	}
+	return reflect.ValueOf(out).Elem().Interface()
+}
+
+func TestWireTypesRoundTrip(t *testing.T) {
+	ts := time.Date(2026, 7, 27, 12, 0, 0, 0, time.UTC)
+	entry := experiments.CheckpointEntry{
+		Experiment: "figure-w128", Iterations: 100, MaxInsts: 5000,
+		Benchmark: "gzip", Config: "nosq-delay",
+		Run: stats.Run{Cycles: 1234, Committed: 4321},
+	}
+	cases := []interface{}{
+		JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip", "applu"},
+			Iterations: 100, MaxInsts: 5000, Configs: []string{"nosq-delay"},
+			Windows: []int{128, 256}, Priority: 3},
+		JobInfo{ID: "job-000001", Spec: JobSpec{Experiment: "sweep"}, State: StateRunning,
+			Error: "boom", Deduped: true, Submitted: ts, Started: ts.Add(time.Second),
+			TotalPairs: 10, CachedPairs: 4, ExecutedPairs: 6},
+		Event{Seq: 7, Type: EventPair, Time: ts, Entry: &entry},
+		Event{Seq: 2, Type: EventPlanned, Time: ts,
+			Planned: &PlannedInfo{Total: 10, Cached: 4, Pending: 6}},
+		Metrics{UptimeSeconds: 1.5, CodeRev: "abc", QueueDepth: 2, WorkersTotal: 4,
+			WorkersBusy: 1, JobsSubmitted: 9, CacheEntries: 3, CacheHits: 5,
+			InstsSimulated: 1e6, RemoteWorkers: 2, TasksQueued: 1, TasksLeased: 2,
+			TasksCompleted: 7, TasksRequeued: 1, RemotePairs: 40},
+		Health{Status: "ok", CodeRev: "abc", Experiments: []string{"fig2", "table5"}},
+		ErrorBody{Error: "no job"},
+	}
+	for _, c := range cases {
+		if got := roundTrip(t, c); !reflect.DeepEqual(got, c) {
+			t.Errorf("%T round trip:\n got %+v\nwant %+v", c, got, c)
+		}
+	}
+}
+
+// TestUnknownFieldsTolerated guards forward compatibility: documents from a
+// newer peer with extra fields must decode cleanly on this side (the strict
+// DisallowUnknownFields check is only the server's validation of submitted
+// job specs, not a property of the wire types).
+func TestUnknownFieldsTolerated(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		into interface{}
+	}{
+		{"JobSpec", `{"experiment":"fig2","future_knob":true}`, &JobSpec{}},
+		{"JobInfo", `{"id":"job-1","state":"done","gpu_seconds":1.5}`, &JobInfo{}},
+		{"Event", `{"seq":1,"type":"state","state":"queued","shard":3}`, &Event{}},
+		{"Metrics", `{"uptime_seconds":1,"fleet_regions":["us","eu"]}`, &Metrics{}},
+		{"Health", `{"status":"ok","build_date":"2026-07-27"}`, &Health{}},
+	}
+	for _, c := range cases {
+		if err := json.Unmarshal([]byte(c.doc), c.into); err != nil {
+			t.Errorf("%s: unknown field rejected: %v", c.name, err)
+		}
+	}
+}
+
+func TestTerminalState(t *testing.T) {
+	for state, terminal := range map[string]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCanceled: true,
+	} {
+		if TerminalState(state) != terminal {
+			t.Errorf("TerminalState(%q) = %v, want %v", state, !terminal, terminal)
+		}
+	}
+}
+
+func TestJobSpecOptions(t *testing.T) {
+	spec := JobSpec{Experiment: "sweep", Benchmarks: []string{"gzip"}, Iterations: 50,
+		MaxInsts: 1000, Configs: []string{"nosq-delay"}, Windows: []int{64}, Priority: 2}
+	opts := spec.Options()
+	if opts.Iterations != 50 || opts.MaxInsts != 1000 ||
+		!reflect.DeepEqual(opts.Benchmarks, spec.Benchmarks) ||
+		!reflect.DeepEqual(opts.Configs, spec.Configs) ||
+		!reflect.DeepEqual(opts.Windows, spec.Windows) {
+		t.Errorf("Options() = %+v does not mirror spec %+v", opts, spec)
+	}
+}

@@ -24,7 +24,9 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/simapi"
+	"repro/internal/simwire"
 )
 
 // Client talks to one simulation server.
@@ -158,6 +160,46 @@ func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) 
 	return io.ReadAll(resp.Body)
 }
 
+// RegisterWorker enrolls this process in the coordinator's remote-worker
+// fleet and returns the assigned identity plus lease/poll parameters
+// (command nosq-worker's first call; see the simwire package for the
+// protocol).
+func (c *Client) RegisterWorker(ctx context.Context, req simwire.RegisterRequest) (simwire.RegisterResponse, error) {
+	var resp simwire.RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/worker/register", req, &resp)
+	return resp, err
+}
+
+// LeaseTask asks the coordinator for a shard task. A nil task means no work
+// is available; poll again after the response's PollMillis. A 404 APIError
+// means the coordinator no longer knows this worker id (restart or
+// liveness prune) — re-register and retry.
+func (c *Client) LeaseTask(ctx context.Context, workerID string) (simwire.LeaseResponse, error) {
+	var resp simwire.LeaseResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/worker/lease", simwire.LeaseRequest{WorkerID: workerID}, &resp)
+	return resp, err
+}
+
+// TaskProgress streams finished pairs for a leased task and renews its
+// lease; an empty entries slice is a pure heartbeat. A response with
+// Canceled set tells the worker to abandon the task.
+func (c *Client) TaskProgress(ctx context.Context, taskID, workerID string, entries []experiments.CheckpointEntry) (simwire.ProgressResponse, error) {
+	var resp simwire.ProgressResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/worker/tasks/"+url.PathEscape(taskID)+"/progress",
+		simwire.ProgressRequest{WorkerID: workerID, Entries: entries}, &resp)
+	return resp, err
+}
+
+// CompleteTask finishes a leased task, delivering every executed entry
+// (the coordinator deduplicates against earlier progress posts). A
+// non-empty errMsg reports a simulation failure, failing the job.
+func (c *Client) CompleteTask(ctx context.Context, taskID, workerID string, entries []experiments.CheckpointEntry, errMsg string) (simwire.CompleteResponse, error) {
+	var resp simwire.CompleteResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/worker/tasks/"+url.PathEscape(taskID)+"/complete",
+		simwire.CompleteRequest{WorkerID: workerID, Entries: entries, Error: errMsg}, &resp)
+	return resp, err
+}
+
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (simapi.Health, error) {
 	var h simapi.Health
@@ -232,8 +274,13 @@ func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
 		return nil
 	})
 	var apiErr *APIError
-	if errors.As(err, &apiErr) || ctx.Err() != nil {
+	if errors.As(err, &apiErr) {
 		return simapi.JobInfo{}, err
+	}
+	if ctx.Err() != nil {
+		// Report the cancellation even if the stream happened to end cleanly
+		// first — never a nil error with a zero JobInfo.
+		return simapi.JobInfo{}, ctx.Err()
 	}
 	// Whatever the stream said, the job's own state decides: poll until
 	// terminal (immediately satisfied in the common stream-saw-it case).

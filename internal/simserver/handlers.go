@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/simapi"
+	"repro/internal/simwire"
 	"repro/internal/stats"
 )
 
@@ -26,6 +28,72 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("POST /api/v1/worker/register", s.handleWorkerRegister)
+	s.mux.HandleFunc("POST /api/v1/worker/lease", s.handleWorkerLease)
+	s.mux.HandleFunc("POST /api/v1/worker/tasks/{id}/progress", s.handleWorkerProgress)
+	s.mux.HandleFunc("POST /api/v1/worker/tasks/{id}/complete", s.handleWorkerComplete)
+}
+
+// decodeWire decodes a worker-protocol body. Unlike job submission it is
+// deliberately tolerant of unknown fields, so mixed-version fleets keep
+// working (see the simwire package comment). The limit is generous: a
+// complete request re-delivers every entry of a large shard task.
+func decodeWire(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req simwire.RegisterRequest
+	if !decodeWire(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.dispatch.register(req))
+}
+
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	var req simwire.LeaseRequest
+	if !decodeWire(w, r, &req) {
+		return
+	}
+	task, err := s.dispatch.lease(req.WorkerID)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simwire.LeaseResponse{
+		Task:       task,
+		PollMillis: int(s.cfg.PollInterval / time.Millisecond),
+	})
+}
+
+func (s *Server) handleWorkerProgress(w http.ResponseWriter, r *http.Request) {
+	var req simwire.ProgressRequest
+	if !decodeWire(w, r, &req) {
+		return
+	}
+	canceled, err := s.dispatch.progress(r.PathValue("id"), req.WorkerID, req.Entries)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simwire.ProgressResponse{Canceled: canceled})
+}
+
+func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
+	var req simwire.CompleteRequest
+	if !decodeWire(w, r, &req) {
+		return
+	}
+	canceled, err := s.dispatch.complete(r.PathValue("id"), req.WorkerID, req.Entries, req.Error)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simwire.CompleteResponse{Canceled: canceled})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -198,9 +198,18 @@ type jobSink struct {
 	j     *job
 	cache *ResultCache
 	m     *metrics
+	// replan marks the in-process fallback re-run after a lost fleet: its
+	// plan is skipped entirely — the first plan already recorded the job's
+	// true cache hits, and pairs delivered remotely in between would
+	// otherwise be re-counted as hits (they were simulated, and already
+	// counted as misses) and re-announced in a second planned event.
+	replan bool
 }
 
 func (s *jobSink) Planned(total, resumed, skippedShard, pending int) {
+	if s.replan {
+		return
+	}
 	// Server jobs run unsharded with the shared cache as their only store, so
 	// every resumed pair is a cache hit.
 	s.cache.RecordHits(uint64(resumed))

@@ -62,7 +62,7 @@ func (m *metrics) busyState() (busy int, total time.Duration) {
 }
 
 // snapshot assembles the /metricsz document.
-func (m *metrics) snapshot(queueDepth, workers int, cache *ResultCache, codeRev string) simapi.Metrics {
+func (m *metrics) snapshot(queueDepth, workers int, cache *ResultCache, codeRev string, fleet fleetStats) simapi.Metrics {
 	busy, busyTotal := m.busyState()
 	util := 0.0
 	if workers > 0 {
@@ -92,5 +92,11 @@ func (m *metrics) snapshot(queueDepth, workers int, cache *ResultCache, codeRev 
 		CacheHitRate:      cache.HitRate(),
 		InstsSimulated:    insts,
 		InstsPerSecond:    ips,
+		RemoteWorkers:     fleet.workers,
+		TasksQueued:       fleet.queued,
+		TasksLeased:       fleet.leased,
+		TasksCompleted:    fleet.completed,
+		TasksRequeued:     fleet.requeued,
+		RemotePairs:       fleet.remotePairs,
 	}
 }

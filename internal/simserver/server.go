@@ -61,6 +61,21 @@ type Config struct {
 	// evicted job's grid re-resolves from cache on re-submission — so this
 	// only bounds job metadata, keeping a long-lived server's memory flat.
 	MaxFinishedJobs int
+	// LeaseTTL bounds how long a remote worker's claim on a shard task
+	// survives without a progress post before the task is re-queued for
+	// another worker (0 = 15s). Progress posts double as heartbeats, so a
+	// healthy worker renews well within the TTL.
+	LeaseTTL time.Duration
+	// WorkerTTL drops a registered remote worker that has stopped polling
+	// (0 = 1 minute, or 4×LeaseTTL if larger); a distributed job stranded
+	// with an empty fleet for a further WorkerTTL fails instead of hanging.
+	// Clamped to at least 2×LeaseTTL — workers heartbeat at a fraction of
+	// the lease TTL, so a shorter worker TTL would prune healthy busy
+	// workers mid-task.
+	WorkerTTL time.Duration
+	// PollInterval is the idle lease-polling interval suggested to remote
+	// workers at registration (0 = 500ms).
+	PollInterval time.Duration
 	// Logf, if set, receives one line per job lifecycle edge ("" = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -69,12 +84,13 @@ type Config struct {
 // cache, and the HTTP handler over them. Create with New, start the workers
 // with Start, serve Handler, and stop with Shutdown.
 type Server struct {
-	cfg     Config
-	rev     string
-	cache   *ResultCache
-	queue   *jobQueue
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg      Config
+	rev      string
+	cache    *ResultCache
+	queue    *jobQueue
+	metrics  *metrics
+	dispatch *dispatcher
+	mux      *http.ServeMux
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -97,6 +113,20 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 	if cfg.MaxFinishedJobs <= 0 {
 		cfg.MaxFinishedJobs = 1000
 	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = time.Minute
+		if min := 4 * cfg.LeaseTTL; cfg.WorkerTTL < min {
+			cfg.WorkerTTL = min
+		}
+	} else if min := 2 * cfg.LeaseTTL; cfg.WorkerTTL < min {
+		cfg.WorkerTTL = min
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
 	rev := cfg.CodeRev
 	if rev == "" {
 		rev = CodeRevision()
@@ -117,15 +147,41 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 		jobs:    make(map[string]*job),
 		active:  make(map[string]string),
 	}
+	s.dispatch = newDispatcher(cfg.LeaseTTL, cfg.WorkerTTL, cfg.PollInterval, s.logf)
 	s.routes()
 	return s, corrupt, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and the lease reaper.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	s.wg.Add(1)
+	go s.reaperLoop()
+}
+
+// reaperLoop periodically expires remote-worker leases and prunes silent
+// workers until Shutdown.
+func (s *Server) reaperLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.LeaseTTL / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	if tick > 2*time.Second {
+		tick = 2 * time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.dispatch.reap(time.Now())
+		}
 	}
 }
 
@@ -314,9 +370,29 @@ func (s *Server) runJob(j *job) {
 	opts := j.spec.Options()
 	opts.Parallelism = s.cfg.Parallelism
 	opts.Store = s.cache
-	opts.Progress = &jobSink{j: j, cache: s.cache, m: s.metrics}
+	sink := &jobSink{j: j, cache: s.cache, m: s.metrics}
+	opts.Progress = sink
+	// With remote workers registered, this worker coordinates instead of
+	// simulating: the sweep engine hands its pending pairs to the dispatcher,
+	// which leases contiguous shard tasks to the fleet. With no fleet the job
+	// runs in-process exactly as before.
+	if n := s.dispatch.liveWorkers(); n > 0 {
+		opts.Executor = s.dispatch.executor(j.id, j.spec)
+		s.logf("distributing %s across %d remote workers", j.id, n)
+	}
 
 	rep, err := exp.Run(jctx, opts)
+	if opts.Executor != nil && (errors.Is(err, errNoLiveWorkers) || errors.Is(err, errFleetLost)) {
+		// The fleet vanished under the job (all workers died or were pruned
+		// between the liveness check and completion). The work is still
+		// runnable in-process — and pairs remote workers already delivered
+		// are in the result store, so the local re-run resumes them instead
+		// of re-simulating.
+		s.logf("%s: %v; falling back to in-process execution", j.id, err)
+		opts.Executor = nil
+		sink.replan = true
+		rep, err = exp.Run(jctx, opts)
+	}
 	switch {
 	case err == nil:
 		j.finish(simapi.StateDone, "", rep, time.Now())
@@ -374,5 +450,5 @@ func (s *Server) Health() simapi.Health {
 
 // Metrics assembles the /metricsz document.
 func (s *Server) Metrics() simapi.Metrics {
-	return s.metrics.snapshot(s.queue.depth(), s.cfg.Workers, s.cache, s.rev)
+	return s.metrics.snapshot(s.queue.depth(), s.cfg.Workers, s.cache, s.rev, s.dispatch.stats())
 }

@@ -1,0 +1,123 @@
+// Package simwire defines the coordinator ↔ worker task protocol of the
+// distributed simulation service: the JSON bodies exchanged between the
+// coordinator (internal/simserver, command nosq-server) and its pull-based
+// remote workers (command nosq-worker).
+//
+// The protocol is four POST endpoints on the coordinator, all initiated by
+// the worker (workers need no inbound connectivity):
+//
+//	POST /api/v1/worker/register            join the fleet → worker id + lease/poll parameters
+//	POST /api/v1/worker/lease               claim a shard task (204-style empty response = no work)
+//	POST /api/v1/worker/tasks/{id}/progress stream finished pairs; doubles as the lease heartbeat
+//	POST /api/v1/worker/tasks/{id}/complete finish a task, delivering any remaining pairs
+//
+// A shard task is a contiguous slice [Start, End) of one job's deterministic
+// pair order (see experiments.PairSlice). Leases expire unless renewed by
+// progress posts; an expired lease re-queues the task for another worker and
+// marks the silent worker suspect. See DESIGN.md "Distributed execution" for
+// the full lifecycle.
+//
+// Wire-compatibility rule: decoding is tolerant of unknown fields on both
+// sides, so fields may be added without breaking older peers; removing or
+// renaming fields is a breaking change.
+package simwire
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/simapi"
+)
+
+// RegisterRequest enrolls a worker in the coordinator's fleet.
+type RegisterRequest struct {
+	// Name labels the worker in logs and metrics (e.g. its hostname);
+	// uniqueness is not required — identity is the assigned WorkerID.
+	Name string `json:"name,omitempty"`
+	// Capacity is advisory: how many concurrent simulations the worker runs
+	// within a task.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// RegisterResponse carries the assigned identity and the coordinator's
+// protocol parameters.
+type RegisterResponse struct {
+	// WorkerID identifies the worker in every subsequent request. A
+	// coordinator restart invalidates it; requests then fail with 404 and
+	// the worker re-registers.
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMillis is how long a claimed task stays leased without a
+	// progress post; workers should heartbeat at a fraction of this.
+	LeaseTTLMillis int `json:"lease_ttl_ms"`
+	// PollMillis is the suggested idle polling interval for lease requests.
+	PollMillis int `json:"poll_ms"`
+}
+
+// LeaseRequest asks for a shard task.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse carries the claimed task, or none when the queue has no
+// task for this worker.
+type LeaseResponse struct {
+	// Task is nil when there is nothing to lease; poll again after
+	// PollMillis.
+	Task       *Task `json:"task,omitempty"`
+	PollMillis int   `json:"poll_ms,omitempty"`
+}
+
+// Task is one leased shard task: a contiguous slice of one job's
+// deterministic pair order, plus the entries already resolved inside that
+// slice so the worker resumes them instead of re-simulating.
+type Task struct {
+	// ID names the task in progress/complete requests.
+	ID string `json:"id"`
+	// JobID is the coordinator job this task belongs to (diagnostic).
+	JobID string `json:"job_id"`
+	// Spec is the job's full spec; the worker re-derives the deterministic
+	// pair order from it and executes the [Start, End) slice.
+	Spec simapi.JobSpec `json:"spec"`
+	// Start and End bound the slice, [Start, End) over the full pair order.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Done seeds the worker's result store: pairs inside the slice that the
+	// coordinator already has (cache hits, or pairs delivered by a previous
+	// worker before its lease expired).
+	Done []experiments.CheckpointEntry `json:"done,omitempty"`
+	// Attempt counts lease grants of this task, starting at 1; >1 means a
+	// previous worker's lease expired and the task was re-queued.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// ProgressRequest streams finished pairs to the coordinator and renews the
+// task's lease. An empty Entries list is a pure heartbeat.
+type ProgressRequest struct {
+	WorkerID string                        `json:"worker_id"`
+	Entries  []experiments.CheckpointEntry `json:"entries,omitempty"`
+}
+
+// ProgressResponse acknowledges a progress post.
+type ProgressResponse struct {
+	// Canceled tells the worker to abandon the task: its job was canceled,
+	// or the lease was lost (expired and re-queued, possibly already
+	// completed by another worker). Delivered entries are still merged where
+	// possible.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// CompleteRequest finishes a task. Entries carries every pair the worker
+// executed (progress posts are an optimization, not a delivery guarantee;
+// the coordinator deduplicates). A non-empty Error reports a simulation
+// failure — the job fails, mirroring a failing local run; infrastructure
+// failures are reported by simply abandoning the lease instead.
+type CompleteRequest struct {
+	WorkerID string                        `json:"worker_id"`
+	Entries  []experiments.CheckpointEntry `json:"entries,omitempty"`
+	Error    string                        `json:"error,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	// Canceled has the same meaning as in ProgressResponse; a completing
+	// worker can ignore it.
+	Canceled bool `json:"canceled,omitempty"`
+}
