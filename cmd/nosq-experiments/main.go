@@ -13,6 +13,8 @@
 //	nosq-experiments -exp sweep -configs nosq-delay,assoc-sq-storesets \
 //	    -windows 128,256 -format csv -out sweep.csv
 //	nosq-experiments -exp sweep -shards 4 -shard-index 2 -checkpoint s2.jsonl
+//	nosq-experiments -exp scenario              # built-in stress suite
+//	nosq-experiments -scenario myspec.json      # custom scenario spec file
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // derivedPath inserts an experiment name before a path's extension:
@@ -54,6 +57,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "split the job list across N processes (0 or 1 = no sharding)")
 		shardIndex = flag.Int("shard-index", 0, "this process's 0-based shard (with -shards)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
+		scenario   = flag.String("scenario", "", "workload scenario spec file (JSON) to run through the scenario experiment")
 	)
 	flag.Parse()
 
@@ -81,6 +85,22 @@ func main() {
 		Shards:      *shards,
 		ShardIndex:  *shardIndex,
 		Checkpoint:  *checkpoint,
+	}
+	if *scenario != "" {
+		// A spec file implies the scenario experiment: -exp all narrows to it,
+		// and any other explicit selection is a contradiction worth flagging.
+		s, err := workload.LoadScenarioFile(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Scenario = &s
+		if *exp == "all" {
+			*exp = "scenario"
+		} else if *exp != "scenario" {
+			fmt.Fprintf(os.Stderr, "-scenario only applies to the scenario experiment; drop -exp %s or use -exp scenario\n", *exp)
+			os.Exit(2)
+		}
 	}
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {

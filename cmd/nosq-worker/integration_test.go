@@ -6,6 +6,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/simapi"
 	"repro/internal/simclient"
+	"repro/internal/workload"
 )
 
 // startServer boots a real nosq-server binary on a random port and returns
@@ -228,6 +230,140 @@ func TestDistributedIntegration(t *testing.T) {
 	if !bytes.Equal(refCSV, distCSV) {
 		t.Errorf("CSV report differs from single-node run:\n--- single-node ---\n%s\n--- distributed ---\n%s",
 			refCSV, distCSV)
+	}
+}
+
+// TestScenarioSpecFileEndToEnd is the acceptance test of the workload
+// scenario subsystem: one spec file runs through every execution surface —
+// the nosq-experiments CLI, a single-node server job, and a distributed
+// fleet (coordinator + two real workers) — and all three reports must be
+// byte-identical in both machine formats.
+//
+// Run with: go test -tags integration ./cmd/nosq-worker
+func TestScenarioSpecFileEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "nosq-server")
+	workerBin := filepath.Join(dir, "nosq-worker")
+	expBin := filepath.Join(dir, "nosq-experiments")
+	for bin, pkg := range map[string]string{serverBin: "../nosq-server", workerBin: ".", expBin: "../nosq-experiments"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	specPath := filepath.Join(dir, "scenario.json")
+	specJSON := []byte(`{
+		"name": "it/phase-flip",
+		"pattern": "phase-flip",
+		"iterations": 64
+	}`)
+	if err := os.WriteFile(specPath, specJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	configs := "nosq-delay,assoc-sq-storesets,perfect-smb"
+
+	// Surface 1: the CLI, straight from the spec file.
+	cliJSON := filepath.Join(dir, "cli.json")
+	cliCSV := filepath.Join(dir, "cli.csv")
+	for out, format := range map[string]string{cliJSON: "json", cliCSV: "csv"} {
+		cmd := exec.Command(expBin, "-scenario", specPath, "-configs", configs, "-format", format, "-out", out)
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("CLI scenario run (%s): %v\n%s", format, err, o)
+		}
+	}
+	wantJSON, err := os.ReadFile(cliJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(cliCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The job spec carries the same scenario inline, decoded from the same
+	// file the CLI read.
+	scn, err := workload.ParseScenario(specJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := simapi.JobSpec{
+		Experiment: "scenario",
+		Scenario:   &scn,
+		Configs:    strings.Split(configs, ","),
+	}
+
+	fetch := func(c *simclient.Client, id string) (jsonRep, csvRep []byte) {
+		t.Helper()
+		j, err := c.Report(ctx, id, "json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.Report(ctx, id, "csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, v
+	}
+
+	// Surface 2: a single-node server job.
+	soloURL, soloStop := startServer(t, serverBin, "-workers", "1")
+	soloC := simclient.New(soloURL, nil)
+	soloInfo, err := soloC.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo, err = soloC.Wait(ctx, soloInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo.State != simapi.StateDone {
+		t.Fatalf("single-node scenario job = %+v", soloInfo)
+	}
+	soloJSON, soloCSV := fetch(soloC, soloInfo.ID)
+	soloStop()
+
+	// Surface 3: a distributed fleet.
+	coordURL, _ := startServer(t, serverBin, "-workers", "1")
+	c := simclient.New(coordURL, nil)
+	startWorker(t, workerBin, coordURL, "scn-a")
+	startWorker(t, workerBin, coordURL, "scn-b")
+	waitRemoteWorkers(t, c, 2)
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err = c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != simapi.StateDone {
+		t.Fatalf("distributed scenario job = %+v", info)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RemotePairs == 0 {
+		t.Error("no pairs executed remotely; the fleet was bypassed")
+	}
+	distJSON, distCSV := fetch(c, info.ID)
+
+	for _, cmp := range []struct {
+		surface    string
+		gotJ, gotC []byte
+	}{
+		{"single-node server", soloJSON, soloCSV},
+		{"distributed fleet", distJSON, distCSV},
+	} {
+		if !bytes.Equal(wantJSON, cmp.gotJ) {
+			t.Errorf("%s JSON report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantJSON, cmp.surface, cmp.gotJ)
+		}
+		if !bytes.Equal(wantCSV, cmp.gotC) {
+			t.Errorf("%s CSV report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantCSV, cmp.surface, cmp.gotC)
+		}
 	}
 }
 

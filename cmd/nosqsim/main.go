@@ -8,6 +8,7 @@
 //	nosqsim -bench mesa.o -all -window 256 -iters 600
 //	nosqsim -bench gzip -all -format json -out gzip.json
 //	nosqsim -bench gzip -all -timeout 30s
+//	nosqsim -scenario myspec.json -all
 //	nosqsim -list
 package main
 
@@ -24,20 +25,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "gzip", "benchmark name (see -list)")
-		config  = flag.String("config", core.NoSQDelay.String(), "machine configuration")
-		all     = flag.Bool("all", false, "run every configuration")
-		window  = flag.Int("window", 128, "instruction window (ROB) size")
-		iters   = flag.Int("iters", 0, "workload iterations (0 = default)")
-		maxInst = flag.Uint64("max-insts", 0, "stop after N committed instructions (0 = unbounded)")
-		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
-		format  = flag.String("format", stats.FormatText, "output format: "+strings.Join(stats.Formats(), ", "))
-		out     = flag.String("out", "", "write output to this file (default: stdout)")
-		list    = flag.Bool("list", false, "list benchmarks and configurations, then exit")
+		bench    = flag.String("bench", "gzip", "benchmark name (see -list)")
+		scenario = flag.String("scenario", "", "workload scenario spec file (JSON) to run instead of -bench")
+		config   = flag.String("config", core.NoSQDelay.String(), "machine configuration")
+		all      = flag.Bool("all", false, "run every configuration")
+		window   = flag.Int("window", 128, "instruction window (ROB) size")
+		iters    = flag.Int("iters", 0, "workload iterations (0 = default)")
+		maxInst  = flag.Uint64("max-insts", 0, "stop after N committed instructions (0 = unbounded)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline)")
+		format   = flag.String("format", stats.FormatText, "output format: "+strings.Join(stats.Formats(), ", "))
+		out      = flag.String("out", "", "write output to this file (default: stdout)")
+		list     = flag.Bool("list", false, "list benchmarks and configurations, then exit")
 	)
 	flag.Parse()
 
@@ -83,13 +86,35 @@ func main() {
 		defer cancel()
 	}
 
-	rep, err := experiments.Sweep(ctx, experiments.Options{
+	opts := experiments.Options{
 		Iterations: *iters,
 		MaxInsts:   *maxInst,
 		Benchmarks: []string{*bench},
 		Configs:    names,
 		Windows:    []int{*window},
-	})
+	}
+	title := *bench
+	runExp := experiments.Sweep
+	if *scenario != "" {
+		// A scenario spec replaces the benchmark: the scenario experiment
+		// produces the same per-configuration rows, so the classic table
+		// below works unchanged.
+		s, err := workload.LoadScenarioFile(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Scenario = &s
+		opts.Benchmarks = nil
+		title = s.Name
+		scn, err := experiments.Lookup("scenario")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runExp = scn.Run
+	}
+	rep, err := runExp(ctx, opts)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "nosqsim: deadline exceeded: the run did not finish within -timeout %v\n", *timeout)
@@ -101,7 +126,7 @@ func main() {
 
 	// Present the classic nosqsim table: one row per configuration, in the
 	// order requested.
-	tbl := stats.NewTable(fmt.Sprintf("%s (window %d)", *bench, *window),
+	tbl := stats.NewTable(fmt.Sprintf("%s (window %d)", title, *window),
 		"config", "cycles", "IPC", "comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
 	for _, r := range rep.Rows.([]experiments.SweepRow) {
 		tbl.AddRow(r.Config, r.Cycles, r.IPC, r.CommPct,

@@ -8,10 +8,11 @@
 // the NoSQ mechanisms themselves — distance-based store-load bypassing
 // prediction (bypass), speculative memory bypassing (smb), SVW-filtered
 // in-order load re-execution (svw) — the synthetic SPEC2000/MediaBench
-// stand-in workloads (workload, program), and the registry-driven experiment
-// subsystem (experiments, with core and stats) whose named experiments
-// regenerate Table 5 and Figures 2-5 of the paper as text, Markdown, JSON,
-// or CSV, with sharded and checkpoint-resumable sweeps.
+// stand-in workloads and declarative stress scenarios (workload, program),
+// and the registry-driven experiment subsystem (experiments, with core and
+// stats) whose named experiments regenerate Table 5 and Figures 2-5 of the
+// paper as text, Markdown, JSON, or CSV, with sharded and
+// checkpoint-resumable sweeps.
 //
 // Simulation throughput is measured by the perf harness (perf), which runs a
 // pinned benchmark grid over shared recorded traces (emu.Trace +

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/program"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -97,6 +98,20 @@ type Options struct {
 	Configs []string
 	Windows []int
 
+	// Scenario gives the scenario experiment an inline workload spec to run
+	// instead of the built-in stress suite. The scenario's canonicalized
+	// content hash becomes part of the experiment scope — and therefore of
+	// every checkpoint and result-cache key — so two scenarios that differ in
+	// any knob can never serve each other's cached measurements. Other
+	// experiments ignore it.
+	Scenario *workload.Scenario
+
+	// scenarios maps workload names to scenario specs for program
+	// generation. The scenario experiment populates it (from Scenario or the
+	// built-in stress suite) before entering the sweep engine; it is not
+	// caller-configurable.
+	scenarios map[string]workload.Scenario
+
 	// scope namespaces checkpoint entries by experiment, so one checkpoint
 	// file shared across experiments (sequential runs, -exp all) can never
 	// serve one experiment's runs to another. Each experiment sets it on
@@ -114,6 +129,17 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// generateProgram builds the named workload: a scenario when the name is in
+// the run's scenario set, a Table 5 benchmark otherwise. Both paths are
+// deterministic in (name, options), which is what lets distributed workers
+// regenerate exactly the program the coordinator planned.
+func (o Options) generateProgram(name string) (*program.Program, error) {
+	if s, ok := o.scenarios[name]; ok {
+		return workload.GenerateScenario(s, workload.Options{Iterations: o.Iterations})
+	}
+	return workload.Generate(name, workload.Options{Iterations: o.Iterations})
 }
 
 // completeOnly filters benchmarks down to those with a run for every

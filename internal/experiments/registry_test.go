@@ -15,7 +15,7 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep"}
+	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep", "scenario"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -55,8 +55,16 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 // minimal workload and renders its report in all four formats — the
 // acceptance criterion for the registry + report layer.
 func TestEveryExperimentRendersEveryFormat(t *testing.T) {
-	opts := Options{Iterations: 25, Benchmarks: []string{"gzip", "g721.e"}, Parallelism: 4}
 	for _, e := range All() {
+		opts := Options{Iterations: 25, Benchmarks: []string{"gzip", "g721.e"}, Parallelism: 4}
+		wantName := "gzip"
+		if e.Name() == "scenario" {
+			// The scenario experiment's workloads are scenario specs, not
+			// Table 5 benchmarks.
+			opts.Benchmarks = []string{"stress/phase-flip"}
+			opts.Configs = []string{"nosq-delay"}
+			wantName = "stress/phase-flip"
+		}
 		rep, err := e.Run(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
@@ -73,7 +81,7 @@ func TestEveryExperimentRendersEveryFormat(t *testing.T) {
 				t.Errorf("%s/%s: %v", e.Name(), format, err)
 				continue
 			}
-			if !strings.Contains(out, "gzip") {
+			if !strings.Contains(out, wantName) {
 				t.Errorf("%s/%s rendering missing benchmark name:\n%s", e.Name(), format, out)
 			}
 		}

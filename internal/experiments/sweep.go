@@ -513,7 +513,7 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		if _, ok := progs[j.benchmark]; ok {
 			continue
 		}
-		p, err := workload.Generate(j.benchmark, workload.Options{Iterations: opts.Iterations})
+		p, err := opts.generateProgram(j.benchmark)
 		if err != nil {
 			return nil, sum, err
 		}

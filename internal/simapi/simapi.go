@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 // Job states. A job moves queued → running → one of the terminal states
@@ -45,6 +46,12 @@ type JobSpec struct {
 	// table/figure experiments, exactly as in experiments.Options).
 	Configs []string `json:"configs,omitempty"`
 	Windows []int    `json:"windows,omitempty"`
+	// Scenario carries an inline workload scenario spec for the scenario
+	// experiment (nil = the built-in stress suite). It travels with the spec
+	// everywhere the spec goes — dedup hashing, shard tasks leased to remote
+	// workers — and its canonicalized content hash is folded into the result
+	// cache's keys, so differing scenarios never collide there.
+	Scenario *workload.Scenario `json:"scenario,omitempty"`
 	// Priority orders the queue: higher runs first; equal priorities run in
 	// submission order.
 	Priority int `json:"priority,omitempty"`
@@ -58,6 +65,7 @@ func (s JobSpec) Options() experiments.Options {
 		Benchmarks: s.Benchmarks,
 		Configs:    s.Configs,
 		Windows:    s.Windows,
+		Scenario:   s.Scenario,
 	}
 }
 
@@ -76,6 +84,9 @@ func (s JobSpec) String() string {
 	}
 	if len(s.Windows) > 0 {
 		fmt.Fprintf(&b, " windows=%v", s.Windows)
+	}
+	if s.Scenario != nil {
+		fmt.Fprintf(&b, " scenario=%s", s.Scenario.Name)
 	}
 	if s.Priority != 0 {
 		fmt.Fprintf(&b, " priority=%d", s.Priority)

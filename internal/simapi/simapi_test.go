@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // roundTrip marshals v, unmarshals into a fresh value of the same type, and
@@ -36,6 +37,8 @@ func TestWireTypesRoundTrip(t *testing.T) {
 		JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip", "applu"},
 			Iterations: 100, MaxInsts: 5000, Configs: []string{"nosq-delay"},
 			Windows: []int{128, 256}, Priority: 3},
+		JobSpec{Experiment: "scenario", Scenario: &workload.Scenario{
+			Name: "stress/custom", Pattern: workload.PatternAliasStorm, Iterations: 200}},
 		JobInfo{ID: "job-000001", Spec: JobSpec{Experiment: "sweep"}, State: StateRunning,
 			Error: "boom", Deduped: true, Submitted: ts, Started: ts.Add(time.Second),
 			TotalPairs: 10, CachedPairs: 4, ExecutedPairs: 6},
@@ -67,6 +70,7 @@ func TestUnknownFieldsTolerated(t *testing.T) {
 		into interface{}
 	}{
 		{"JobSpec", `{"experiment":"fig2","future_knob":true}`, &JobSpec{}},
+		{"JobSpec scenario", `{"experiment":"scenario","scenario":{"name":"s","iterations":10,"new_knob":2}}`, &JobSpec{}},
 		{"JobInfo", `{"id":"job-1","state":"done","gpu_seconds":1.5}`, &JobInfo{}},
 		{"Event", `{"seq":1,"type":"state","state":"queued","shard":3}`, &Event{}},
 		{"Metrics", `{"uptime_seconds":1,"fleet_regions":["us","eu"]}`, &Metrics{}},
@@ -92,12 +96,14 @@ func TestTerminalState(t *testing.T) {
 
 func TestJobSpecOptions(t *testing.T) {
 	spec := JobSpec{Experiment: "sweep", Benchmarks: []string{"gzip"}, Iterations: 50,
-		MaxInsts: 1000, Configs: []string{"nosq-delay"}, Windows: []int{64}, Priority: 2}
+		MaxInsts: 1000, Configs: []string{"nosq-delay"}, Windows: []int{64}, Priority: 2,
+		Scenario: &workload.Scenario{Name: "s", Iterations: 10}}
 	opts := spec.Options()
 	if opts.Iterations != 50 || opts.MaxInsts != 1000 ||
 		!reflect.DeepEqual(opts.Benchmarks, spec.Benchmarks) ||
 		!reflect.DeepEqual(opts.Configs, spec.Configs) ||
-		!reflect.DeepEqual(opts.Windows, spec.Windows) {
+		!reflect.DeepEqual(opts.Windows, spec.Windows) ||
+		opts.Scenario != spec.Scenario {
 		t.Errorf("Options() = %+v does not mirror spec %+v", opts, spec)
 	}
 }

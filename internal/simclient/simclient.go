@@ -9,6 +9,11 @@
 //	info, err := c.Submit(ctx, simapi.JobSpec{Experiment: "fig2", Iterations: 100})
 //	info, err = c.Wait(ctx, info.ID)
 //	report, err := c.Report(ctx, info.ID, "json")
+//
+// Workload scenario specs (see internal/workload) travel inline in the job:
+//
+//	scn, err := workload.LoadScenarioFile("my.json")
+//	info, err = c.Submit(ctx, simapi.JobSpec{Experiment: "scenario", Scenario: &scn})
 package simclient
 
 import (

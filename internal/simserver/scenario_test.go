@@ -1,0 +1,115 @@
+package simserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simapi"
+	"repro/internal/workload"
+)
+
+// TestServerScenarioJobs pins the scenario ↔ result-cache contract at the
+// service layer: an inline-scenario job runs, an identical re-submission is
+// served entirely from the cache, and a job whose scenario differs in a
+// single knob — same name, same everything else — misses the cache
+// completely instead of being served the other scenario's measurements.
+func TestServerScenarioJobs(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1, Parallelism: 2})
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	scn := func(fullComm float64) *workload.Scenario {
+		return &workload.Scenario{
+			Name:       "test/knob",
+			Iterations: 15,
+			Mix:        &workload.SlotMix{IndepPct: 100 - fullComm, FullCommPct: fullComm},
+		}
+	}
+	spec := simapi.JobSpec{
+		Experiment: "scenario",
+		Scenario:   scn(20),
+		Configs:    []string{"nosq-delay", "assoc-sq-storesets"},
+	}
+	const wantPairs = 2
+
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err = c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != simapi.StateDone || info.ExecutedPairs != wantPairs || info.CachedPairs != 0 {
+		t.Fatalf("first scenario job = %+v, want %d executed pairs", info, wantPairs)
+	}
+
+	// Identical spec again: everything from cache.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err = c.Wait(ctx, again.ID); err != nil {
+		t.Fatal(err)
+	}
+	if again.State != simapi.StateDone || again.ExecutedPairs != 0 || again.CachedPairs != wantPairs {
+		t.Fatalf("identical scenario re-run = %+v, want fully cache-served", again)
+	}
+
+	// One knob changed, same scenario name: the content-addressed keys embed
+	// the scenario hash, so nothing may be served from the first run's cache.
+	diffSpec := spec
+	diffSpec.Scenario = scn(25)
+	diff, err := c.Submit(ctx, diffSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Deduped {
+		t.Fatal("differing scenario deduped onto the first job")
+	}
+	if diff, err = c.Wait(ctx, diff.ID); err != nil {
+		t.Fatal(err)
+	}
+	if diff.State != simapi.StateDone || diff.ExecutedPairs != wantPairs || diff.CachedPairs != 0 {
+		t.Fatalf("differing scenario job = %+v, want %d fresh pairs and zero cache hits", diff, wantPairs)
+	}
+}
+
+// TestServerScenarioValidation: invalid inline scenarios are rejected at
+// submission with a clear message, and the iteration cap covers the
+// scenario's own count.
+func TestServerScenarioValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxIterations: 100})
+	ctx := context.Background()
+
+	bad := simapi.JobSpec{Experiment: "scenario", Scenario: &workload.Scenario{Name: "x", Iterations: -1}}
+	if _, err := c.Submit(ctx, bad); err == nil || !strings.Contains(err.Error(), "iterations must be positive") {
+		t.Errorf("negative scenario iterations: err = %v", err)
+	}
+
+	big := simapi.JobSpec{Experiment: "scenario", Scenario: &workload.Scenario{Name: "x", Iterations: 1000}}
+	if _, err := c.Submit(ctx, big); err == nil || !strings.Contains(err.Error(), "exceeds the server cap") {
+		t.Errorf("scenario iterations above cap: err = %v", err)
+	}
+
+	badMix := simapi.JobSpec{Experiment: "scenario", Scenario: &workload.Scenario{
+		Name: "x", Iterations: 10, Mix: &workload.SlotMix{IndepPct: 90}}}
+	if _, err := c.Submit(ctx, badMix); err == nil || !strings.Contains(err.Error(), "sum to exactly 100") {
+		t.Errorf("bad scenario mix: err = %v", err)
+	}
+
+	// A scenario on a non-scenario experiment would be silently ignored (yet
+	// alter the dedup hash), so it must be rejected.
+	stray := simapi.JobSpec{Experiment: "fig2", Scenario: &workload.Scenario{Name: "x", Iterations: 10}}
+	if _, err := c.Submit(ctx, stray); err == nil || !strings.Contains(err.Error(), "only applies to the scenario experiment") {
+		t.Errorf("stray scenario on fig2: err = %v", err)
+	}
+
+	huge := simapi.JobSpec{Experiment: "scenario", Scenario: &workload.Scenario{
+		Name: "x", Iterations: 10, FootprintKB: workload.MaxFootprintKB + 1}}
+	if _, err := c.Submit(ctx, huge); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("absurd scenario footprint: err = %v", err)
+	}
+}

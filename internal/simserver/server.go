@@ -240,6 +240,23 @@ func (s *Server) Submit(spec simapi.JobSpec) (simapi.JobInfo, error) {
 			return simapi.JobInfo{}, fmt.Errorf("simserver: invalid window size %d", w)
 		}
 	}
+	if spec.Scenario != nil {
+		// Reject bad inline scenarios at submission, not minutes later in a
+		// worker; the iteration cap applies to the scenario's own count too.
+		// A scenario on any other experiment would be silently ignored (yet
+		// still alter the dedup hash), so it is a submission error — the CLI
+		// rejects the same contradiction.
+		if spec.Experiment != "scenario" {
+			return simapi.JobInfo{}, fmt.Errorf("simserver: an inline scenario only applies to the scenario experiment, not %q", spec.Experiment)
+		}
+		if err := spec.Scenario.Validate(); err != nil {
+			return simapi.JobInfo{}, err
+		}
+		if s.cfg.MaxIterations > 0 && spec.Scenario.Iterations > s.cfg.MaxIterations {
+			return simapi.JobInfo{}, fmt.Errorf("simserver: scenario iterations %d exceeds the server cap %d",
+				spec.Scenario.Iterations, s.cfg.MaxIterations)
+		}
+	}
 	hash, err := specHash(spec)
 	if err != nil {
 		return simapi.JobInfo{}, err

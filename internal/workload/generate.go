@@ -11,8 +11,20 @@ import (
 // Options controls workload generation.
 type Options struct {
 	// Iterations is the number of main-loop iterations (each contributing a
-	// few hundred dynamic instructions). Zero selects the default.
+	// few hundred dynamic instructions). Zero selects the default; negative
+	// values are rejected by Validate rather than silently clamped.
 	Iterations int
+}
+
+// Validate rejects option values the generator would previously have
+// clamped: a negative iteration count is an error (zero still selects the
+// default).
+func (o Options) Validate() error {
+	if o.Iterations < 0 {
+		return fmt.Errorf("workload: iterations must be positive (or zero for the default %d), got %d",
+			DefaultIterations, o.Iterations)
+	}
+	return nil
 }
 
 // DefaultIterations is the default number of main-loop iterations, sized so a
@@ -106,26 +118,39 @@ func MustGenerate(name string, opts Options) *program.Program {
 // GenerateFromProfile builds a synthetic program for an arbitrary profile
 // (exported so examples and tests can construct custom workloads).
 func GenerateFromProfile(prof Profile, opts Options) (*program.Program, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
 	iters := opts.Iterations
-	if iters <= 0 {
+	if iters == 0 {
 		iters = DefaultIterations
 	}
 	g := &generator{
-		prof: prof,
-		rng:  rng{s: seedFor(prof.Name)},
-		b:    program.NewBuilder(prof.Name),
+		prof:     prof,
+		rng:      rng{s: seedFor(prof.Name)},
+		progSeed: seedFor(prof.Name),
+		b:        program.NewBuilder(prof.Name),
 	}
 	g.build(iters)
 	return g.b.Build()
 }
 
 type generator struct {
-	prof  Profile
-	rng   rng
-	b     *program.Builder
+	prof Profile
+	rng  rng
+	b    *program.Builder
+	// progSeed seeds the generated program's in-program xorshift state
+	// (seedFor(name) for Table 5 profiles, the scenario content seed for
+	// scenarios).
+	progSeed uint64
+	// scn carries a scenario's compiled parameters (nil for Table 5
+	// profiles; every scenario-specific branch in the emitters is gated on
+	// it, so profile generation is bit-identical with or without the
+	// scenario layer).
+	scn   *scenarioPlan
 	label int
 	// temp register rotation (r6..r15).
 	temp int
@@ -184,8 +209,26 @@ func (g *generator) footprintBytes() int64 {
 	return int64(p)
 }
 
-// slotMix computes the per-iteration slot composition from the profile.
+// slotMix computes the per-iteration slot composition from the profile (or,
+// for a scenario, from its explicit slot-count apportionment).
 func (g *generator) slotMix() []slotKind {
+	if g.scn != nil && g.scn.counts != nil {
+		var slots []slotKind
+		kinds := []slotKind{slotCommFull, slotCommPathDep, slotCommPartial, slotCommPartialStore, slotIndep}
+		for i, k := range kinds {
+			for n := 0; n < g.scn.counts[i]; n++ {
+				slots = append(slots, k)
+			}
+		}
+		if g.prof.HardPer10k >= 1 {
+			slots = append(slots, slotCommHard)
+		}
+		for i := len(slots) - 1; i > 0; i-- {
+			j := g.rng.intn(i + 1)
+			slots[i], slots[j] = slots[j], slots[i]
+		}
+		return slots
+	}
 	round := func(x float64) int { return int(math.Round(x)) }
 	total := loadSlotsPerIteration
 	comm := round(float64(total) * g.prof.CommPct / 100)
@@ -264,7 +307,7 @@ func (g *generator) build(iters int) {
 	b.MovImm(regAcc, 0)
 	b.MovImm(regVal, 0x1234567)
 	b.MovImm(regOne, 1)
-	b.MovImm(regRng, int64(seedFor(g.prof.Name)&0x7FFFFFFF)|1)
+	b.MovImm(regRng, int64(g.progSeed&0x7FFFFFFF)|1)
 	if g.prof.FPHeavy {
 		b.InitData(program.DataBase+8*1024, 8, math.Float64bits(1.0009765625))
 		b.LoadFP8(regFAcc, regCommBase, 8*1024)
@@ -281,16 +324,20 @@ func (g *generator) build(iters int) {
 	b.Branch(isa.BrNEZ, regCounter, "main_loop")
 	b.Halt()
 
-	// Communication kernel: the load slots.
+	// Communication kernel: the load slots, or a scenario's stress kernel.
 	b.Label("comm_kernel")
-	slots := g.slotMix()
-	for i, k := range slots {
-		g.emitSlot(i, k)
-	}
-	// Fold the sinks into the accumulator once per iteration so loaded
-	// values feed later work without serialising every slot.
-	for _, s := range regSinks {
-		b.Add(regAcc, regAcc, s)
+	if g.scn != nil && g.scn.pattern != "" {
+		g.emitStressKernel()
+	} else {
+		slots := g.slotMix()
+		for i, k := range slots {
+			g.emitSlot(i, k)
+		}
+		// Fold the sinks into the accumulator once per iteration so loaded
+		// values feed later work without serialising every slot.
+		for _, s := range regSinks {
+			b.Add(regAcc, regAcc, s)
+		}
 	}
 	b.Ret()
 
@@ -434,10 +481,25 @@ func (g *generator) emitCommFull(off int64) {
 		b.AddImm(regVal, regVal, 13)
 	}
 	b.Store(regVal, regCommBase, off, 8)
-	// Some slots put an extra unrelated store between the pair so the
-	// learned distance differs from slot to slot.
-	if g.rng.intn(2) == 1 {
-		b.Store(regOne, regCommBase, off+8, 8)
+	if g.scn != nil && g.scn.distMax >= 0 {
+		// A scenario's store-distance knob: a spec-chosen number of unrelated
+		// stores (to the write-only output region) separate the pair, so the
+		// dynamic store distance the predictor must learn is under the spec's
+		// control — up to and beyond what its distance field can represent.
+		n := g.scn.distMin
+		if g.scn.distMax > g.scn.distMin {
+			n += g.rng.intn(g.scn.distMax - g.scn.distMin + 1)
+		}
+		for i := 0; i < n; i++ {
+			b.Store(regOne, regOut, int64(g.scn.fill%512)*8, 8)
+			g.scn.fill++
+		}
+	} else {
+		// Some slots put an extra unrelated store between the pair so the
+		// learned distance differs from slot to slot.
+		if g.rng.intn(2) == 1 {
+			b.Store(regOne, regCommBase, off+8, 8)
+		}
 	}
 	for i := g.rng.intn(3); i > 0; i-- {
 		b.AddImm(regAcc, regAcc, 1)
@@ -456,7 +518,13 @@ func (g *generator) emitCommPartial(off int64) {
 	sink := g.nextSink()
 	g.commSlotsEmitted++
 	b.AddImm(regVal, regVal, 7)
-	switch g.rng.intn(4) {
+	sel := g.rng.intn(4)
+	if g.scn != nil && g.scn.shape >= 0 {
+		// A scenario's partial-shape knob pins every partial-word slot to one
+		// communication shape instead of rotating through all four.
+		sel = g.scn.shape
+	}
+	switch sel {
 	case 0:
 		// Wide store, narrow load of the upper half (shifted).
 		b.Store(regVal, regCommBase, off, 8)

@@ -12,6 +12,11 @@
 // exactly the workload properties that drive the paper's results, so
 // preserving them preserves the relative behaviour of the configurations in
 // Table 5 and Figures 2-5, which is the goal of the reproduction.
+//
+// Beyond the fixed profiles, the package provides declarative workload
+// scenarios (Scenario, GenerateScenario): JSON-settable knob sets and
+// dedicated stress patterns that probe the bypassing and verification
+// machinery outside the published profiles. See scenario.go and stress.go.
 package workload
 
 import (
@@ -30,6 +35,8 @@ const (
 	SPECint
 	// SPECfp is the SPEC CPU2000 floating-point suite.
 	SPECfp
+	// Custom marks workloads outside Table 5 (declarative scenarios).
+	Custom
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +48,8 @@ func (s Suite) String() string {
 		return "SPECint"
 	case SPECfp:
 		return "SPECfp"
+	case Custom:
+		return "custom"
 	default:
 		return fmt.Sprintf("suite?%d", int(s))
 	}
