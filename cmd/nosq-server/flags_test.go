@@ -6,28 +6,48 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	ok := func(workers, parallel int, lease, poll time.Duration) bool {
-		return validateFlags(workers, parallel, lease, poll) == nil
+	type flags struct {
+		workers, parallel      int
+		leaseTTL, pollIvl      time.Duration
+		maxQueued, quotaActive int
+		quotaRate              float64
+		quotaBurst             int
 	}
-	if !ok(4, 4, 15*time.Second, 500*time.Millisecond) {
-		t.Error("sane defaults rejected")
+	sane := flags{workers: 4, parallel: 4, leaseTTL: 15 * time.Second,
+		pollIvl: 500 * time.Millisecond, quotaBurst: 10}
+	check := func(f flags) error {
+		return validateFlags(f.workers, f.parallel, f.leaseTTL, f.pollIvl,
+			f.maxQueued, f.quotaActive, f.quotaRate, f.quotaBurst)
+	}
+	if err := check(sane); err != nil {
+		t.Errorf("sane defaults rejected: %v", err)
+	}
+	quota := sane
+	quota.maxQueued, quota.quotaActive, quota.quotaRate = 64, 8, 2.5
+	if err := check(quota); err != nil {
+		t.Errorf("quota flags rejected: %v", err)
 	}
 	cases := []struct {
-		name              string
-		workers, parallel int
-		leaseTTL, pollIvl time.Duration
+		name   string
+		mutate func(*flags)
 	}{
-		{"zero workers", 0, 4, time.Second, time.Second},
-		{"negative workers", -1, 4, time.Second, time.Second},
-		{"zero parallel", 4, 0, time.Second, time.Second},
-		{"negative parallel", 4, -2, time.Second, time.Second},
-		{"zero lease TTL", 4, 4, 0, time.Second},
-		{"negative lease TTL", 4, 4, -time.Second, time.Second},
-		{"zero poll interval", 4, 4, time.Second, 0},
-		{"negative poll interval", 4, 4, time.Second, -time.Millisecond},
+		{"zero workers", func(f *flags) { f.workers = 0 }},
+		{"negative workers", func(f *flags) { f.workers = -1 }},
+		{"zero parallel", func(f *flags) { f.parallel = 0 }},
+		{"negative parallel", func(f *flags) { f.parallel = -2 }},
+		{"zero lease TTL", func(f *flags) { f.leaseTTL = 0 }},
+		{"negative lease TTL", func(f *flags) { f.leaseTTL = -time.Second }},
+		{"zero poll interval", func(f *flags) { f.pollIvl = 0 }},
+		{"negative poll interval", func(f *flags) { f.pollIvl = -time.Millisecond }},
+		{"negative max queued", func(f *flags) { f.maxQueued = -1 }},
+		{"negative quota active", func(f *flags) { f.quotaActive = -1 }},
+		{"negative quota rate", func(f *flags) { f.quotaRate = -0.5 }},
+		{"rate without burst", func(f *flags) { f.quotaRate = 1; f.quotaBurst = 0 }},
 	}
 	for _, c := range cases {
-		if err := validateFlags(c.workers, c.parallel, c.leaseTTL, c.pollIvl); err == nil {
+		f := sane
+		c.mutate(&f)
+		if err := check(f); err == nil {
 			t.Errorf("%s: accepted, want error", c.name)
 		}
 	}

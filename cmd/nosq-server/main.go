@@ -40,9 +40,11 @@ import (
 )
 
 // validateFlags rejects flag values that would make the server hang (a
-// zero-worker pool never pops a job) or spin (a zero poll interval has
-// remote workers hammering the lease endpoint).
-func validateFlags(workers, parallel int, leaseTTL, pollInterval time.Duration) error {
+// zero-worker pool never pops a job), spin (a zero poll interval has remote
+// workers hammering the lease endpoint), or silently disable a quota the
+// operator asked for (negative caps and rates).
+func validateFlags(workers, parallel int, leaseTTL, pollInterval time.Duration,
+	maxQueued, quotaActive int, quotaRate float64, quotaBurst int) error {
 	if workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d (a server without workers would queue jobs forever)", workers)
 	}
@@ -55,25 +57,43 @@ func validateFlags(workers, parallel int, leaseTTL, pollInterval time.Duration) 
 	if pollInterval <= 0 {
 		return fmt.Errorf("-poll-interval must be positive, got %v (a zero interval would have workers spin on the lease endpoint)", pollInterval)
 	}
+	if maxQueued < 0 {
+		return fmt.Errorf("-max-queued must be non-negative, got %d (0 disables the bound)", maxQueued)
+	}
+	if quotaActive < 0 {
+		return fmt.Errorf("-quota-active must be non-negative, got %d (0 disables the cap)", quotaActive)
+	}
+	if quotaRate < 0 {
+		return fmt.Errorf("-quota-rate must be non-negative, got %g (0 disables the rate limit)", quotaRate)
+	}
+	if quotaRate > 0 && quotaBurst <= 0 {
+		return fmt.Errorf("-quota-burst must be positive when -quota-rate is set, got %d", quotaBurst)
+	}
 	return nil
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per job")
-		cache    = flag.String("cache", "", "persist the result cache to this JSONL file (default: memory only)")
-		maxIters = flag.Int("max-iters", 0, "reject jobs asking for more workload iterations (0 = no cap)")
-		maxJobs  = flag.Int("max-finished", 0, "retain at most N finished jobs' metadata; oldest evicted (0 = 1000)")
-		leaseTTL = flag.Duration("lease-ttl", 15*time.Second, "remote shard-task lease TTL; an expired lease re-queues the task")
-		pollIvl  = flag.Duration("poll-interval", 500*time.Millisecond, "idle polling interval suggested to remote workers")
-		quiet    = flag.Bool("quiet", false, "suppress per-job log lines")
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations per job")
+		cache       = flag.String("cache", "", "persist the result cache to this JSONL file (default: memory only)")
+		maxIters    = flag.Int("max-iters", 0, "reject jobs asking for more workload iterations (0 = no cap)")
+		maxJobs     = flag.Int("max-finished", 0, "retain at most N finished jobs' metadata; oldest evicted (0 = 1000)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "remote shard-task lease TTL; an expired lease re-queues the task")
+		pollIvl     = flag.Duration("poll-interval", 500*time.Millisecond, "idle polling interval suggested to remote workers")
+		stateDir    = flag.String("state-dir", "", "persist jobs durably in this directory (WAL + result cache); a restarted server replays the log and resumes interrupted jobs")
+		maxQueued   = flag.Int("max-queued", 0, "refuse submissions with 429 once N jobs are queued (0 = unbounded)")
+		quotaActive = flag.Int("quota-active", 0, "per-client cap on active (queued+running) jobs (0 = unlimited)")
+		quotaRate   = flag.Float64("quota-rate", 0, "per-client submission rate limit in jobs/second (0 = unlimited)")
+		quotaBurst  = flag.Int("quota-burst", 10, "per-client submission burst capacity used with -quota-rate")
+		quiet       = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "nosq-server: ", log.LstdFlags)
-	if err := validateFlags(*workers, *parallel, *leaseTTL, *pollIvl); err != nil {
+	if err := validateFlags(*workers, *parallel, *leaseTTL, *pollIvl,
+		*maxQueued, *quotaActive, *quotaRate, *quotaBurst); err != nil {
 		logger.Print(err)
 		os.Exit(2)
 	}
@@ -85,6 +105,11 @@ func main() {
 		MaxFinishedJobs: *maxJobs,
 		LeaseTTL:        *leaseTTL,
 		PollInterval:    *pollIvl,
+		StateDir:        *stateDir,
+		MaxQueuedJobs:   *maxQueued,
+		QuotaMaxActive:  *quotaActive,
+		QuotaRate:       *quotaRate,
+		QuotaBurst:      *quotaBurst,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -94,10 +119,15 @@ func main() {
 		logger.Fatal(err)
 	}
 	if corrupt > 0 {
-		logger.Printf("warning: result cache %s: skipped %d corrupt line(s)", *cache, corrupt)
+		logger.Printf("warning: skipped %d corrupt persisted line(s) (result cache or WAL)", corrupt)
 	}
-	if *cache != "" {
-		logger.Printf("result cache %s: %d entries resident", *cache, srv.Cache().Len())
+	if *cache != "" || *stateDir != "" {
+		logger.Printf("result cache: %d entries resident", srv.Cache().Len())
+	}
+	if *stateDir != "" {
+		restored, requeued := srv.RecoveryStats()
+		logger.Printf("state dir %s: %d finished job(s) restored, %d interrupted job(s) re-queued",
+			*stateDir, restored, requeued)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

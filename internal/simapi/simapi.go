@@ -100,6 +100,10 @@ type JobInfo struct {
 	ID    string  `json:"id"`
 	Spec  JobSpec `json:"spec"`
 	State string  `json:"state"`
+	// Client is the identity that submitted the job (the X-Client-ID header,
+	// or the server's anonymous default), charged for it under the server's
+	// per-client quotas.
+	Client string `json:"client,omitempty"`
 	// Error holds the failure message of a failed job.
 	Error string `json:"error,omitempty"`
 	// Deduped marks a submission that matched an already-active identical
@@ -198,6 +202,19 @@ type Metrics struct {
 	TasksCompleted uint64 `json:"tasks_completed"`
 	TasksRequeued  uint64 `json:"tasks_requeued"`
 	RemotePairs    uint64 `json:"remote_pairs"`
+
+	// Clients holds the per-client quota gauges, keyed by client identity
+	// (absent until any client has submitted).
+	Clients map[string]ClientMetrics `json:"clients,omitempty"`
+}
+
+// ClientMetrics is one client's slice of the /metricsz document: live
+// queued/running gauges plus cumulative submission counters.
+type ClientMetrics struct {
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
 }
 
 // Health is the /healthz document.
@@ -210,4 +227,8 @@ type Health struct {
 // ErrorBody is the JSON body of every non-2xx response.
 type ErrorBody struct {
 	Error string `json:"error"`
+	// RetryAfterMillis accompanies 429 quota refusals: how long the client
+	// should back off before retrying, with millisecond precision (the
+	// Retry-After header carries the same hint rounded up to whole seconds).
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
 }

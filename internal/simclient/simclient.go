@@ -36,8 +36,9 @@ import (
 
 // Client talks to one simulation server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base     string
+	hc       *http.Client
+	clientID string
 }
 
 // New creates a client for the server at baseURL (e.g.
@@ -54,25 +55,58 @@ func New(baseURL string, hc *http.Client) *Client {
 	return &Client{base: baseURL, hc: hc}
 }
 
+// WithClientID sets the X-Client-ID header sent with every request — the
+// identity the server's per-client quotas and rate limits charge ("" = the
+// server's shared anonymous bucket). It returns the client for chaining.
+func (c *Client) WithClientID(id string) *Client {
+	c.clientID = id
+	return c
+}
+
 // APIError is a non-2xx response, carrying the HTTP status and the server's
 // error message.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's backoff hint on 429 quota refusals (zero
+	// when the response carried none).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("simclient: server returned %d: %s", e.Status, e.Message)
 }
 
-// apiError decodes an error body from a non-2xx response.
+// apiError decodes an error body from a non-2xx response, picking up the
+// Retry-After hint of quota refusals (millisecond-precise from the body when
+// present, whole seconds from the header otherwise).
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	e := &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
 	var eb simapi.ErrorBody
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-		return &APIError{Status: resp.StatusCode, Message: eb.Error}
+		e.Message = eb.Error
+		e.RetryAfter = time.Duration(eb.RetryAfterMillis) * time.Millisecond
 	}
-	return &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+	if e.RetryAfter <= 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// newRequest builds a request against the server, attaching the client
+// identity header when one is set.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.clientID != "" {
+		req.Header.Set("X-Client-ID", c.clientID)
+	}
+	return req, nil
 }
 
 // do performs one JSON request/response round trip. in (when non-nil) is
@@ -87,7 +121,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -116,6 +150,29 @@ func (c *Client) Submit(ctx context.Context, spec simapi.JobSpec) (simapi.JobInf
 	var info simapi.JobInfo
 	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &info)
 	return info, err
+}
+
+// SubmitWait submits a spec, honoring the server's backpressure: a 429
+// quota refusal sleeps out the response's Retry-After hint (500ms when the
+// server sent none) and retries until the submission lands, a different
+// error occurs, or ctx ends.
+func (c *Client) SubmitWait(ctx context.Context, spec simapi.JobSpec) (simapi.JobInfo, error) {
+	for {
+		info, err := c.Submit(ctx, spec)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+			return info, err
+		}
+		d := apiErr.RetryAfter
+		if d <= 0 {
+			d = 500 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return simapi.JobInfo{}, ctx.Err()
+		case <-time.After(d):
+		}
+	}
 }
 
 // Job fetches one job's current info.
@@ -150,7 +207,7 @@ func (c *Client) Report(ctx context.Context, id, format string) ([]byte, error) 
 	if format != "" {
 		path += "?format=" + url.QueryEscape(format)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +289,7 @@ func (c *Client) StreamEvents(ctx context.Context, id string, from int, fn func(
 	if from > 0 {
 		path += "?from=" + strconv.Itoa(from)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -271,6 +328,11 @@ func (c *Client) StreamEvents(ctx context.Context, id string, from int, fn func(
 // and falls back to polling if the stream breaks or ends early — a clean
 // EOF before a terminal event (proxy closing the connection) must not be
 // mistaken for completion.
+//
+// Wait survives server restarts: connection-level failures (the server
+// briefly down, a durable server replaying its WAL) are retried until ctx
+// ends. Only the server's own verdicts end it early — an APIError such as a
+// 404 for a job the restarted server does not know.
 func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
 	err := c.StreamEvents(ctx, id, 0, func(ev simapi.Event) error {
 		if ev.Type == simapi.EventState && simapi.TerminalState(ev.State) {
@@ -291,11 +353,17 @@ func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
 	// terminal (immediately satisfied in the common stream-saw-it case).
 	for {
 		info, err := c.Job(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			if simapi.TerminalState(info.State) {
+				return info, nil
+			}
+		case errors.As(err, &apiErr):
 			return info, err
-		}
-		if simapi.TerminalState(info.State) {
-			return info, nil
+		case ctx.Err() != nil:
+			return info, ctx.Err()
+			// Anything else is transport-level (connection refused while the
+			// server restarts): keep polling until ctx gives up.
 		}
 		select {
 		case <-ctx.Done():

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/simapi"
+	"repro/internal/simstore"
 	"repro/internal/simwire"
 	"repro/internal/stats"
 )
@@ -47,6 +48,10 @@ type dispatcher struct {
 	workerTTL    time.Duration
 	pollInterval time.Duration
 	logf         func(format string, args ...interface{})
+	// walLog, when set, receives lease / task-done breadcrumbs for the
+	// write-ahead log. Replay ignores them (a recovered job re-plans its
+	// shard tasks), but they make a crash's task state auditable.
+	walLog func(simstore.Record)
 
 	mu         sync.Mutex
 	workers    map[string]*remoteWorker
@@ -287,6 +292,12 @@ func (d *dispatcher) lease(workerID string) (*simwire.Task, error) {
 	t.expiry = now.Add(d.leaseTTL)
 	d.logf("task %s [%d,%d) of %s leased to %s (attempt %d)",
 		t.id, t.start, t.end, t.run.jobID, workerID, t.attempt)
+	if d.walLog != nil {
+		d.walLog(simstore.Record{
+			Type: simstore.RecLease, Time: now, JobID: t.run.jobID,
+			TaskID: t.id, WorkerID: workerID,
+		})
+	}
 	return &simwire.Task{
 		ID:      t.id,
 		JobID:   t.run.jobID,
@@ -402,6 +413,12 @@ func (d *dispatcher) finishTaskLocked(t *shardTask) {
 	}
 	delete(d.tasks, t.id)
 	d.completed.Add(1)
+	if d.walLog != nil {
+		d.walLog(simstore.Record{
+			Type: simstore.RecTaskDone, Time: time.Now(), JobID: t.run.jobID,
+			TaskID: t.id, WorkerID: t.workerID,
+		})
+	}
 }
 
 // requeueLocked sends a task back to the queue, excluding the worker that

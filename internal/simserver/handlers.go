@@ -117,6 +117,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	client := r.Header.Get("X-Client-ID")
+	if client != "" && !validClientID(client) {
+		writeErr(w, http.StatusBadRequest,
+			"invalid X-Client-ID %q (1-64 chars from [A-Za-z0-9._/-])", client)
+		return
+	}
 	var spec simapi.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -124,8 +130,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	info, err := s.Submit(spec)
+	info, err := s.Submit(spec, client)
 	if err != nil {
+		var qerr *QuotaError
+		if errors.As(err, &qerr) {
+			// 429 with both hints: the standard Retry-After header in whole
+			// seconds (ceiling, so "soon" never rounds to "now") and the
+			// precise millisecond figure in the body for typed clients.
+			secs := int((qerr.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			ms := qerr.RetryAfter.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests,
+				simapi.ErrorBody{Error: err.Error(), RetryAfterMillis: ms})
+			return
+		}
 		code := http.StatusBadRequest
 		if errors.Is(err, ErrShuttingDown) {
 			code = http.StatusServiceUnavailable
@@ -262,6 +286,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	info := j.info()
 	rep := j.result()
 	if rep == nil {
+		// A job restored from the WAL after a restart has no in-memory
+		// report, but its pre-rendered formats replayed with it.
+		if text, ok := j.rendered(format); ok {
+			writeReport(w, format, text)
+			return
+		}
 		switch {
 		case info.State == simapi.StateFailed:
 			writeErr(w, http.StatusConflict, "job %s failed: %s", info.ID, info.Error)
@@ -277,6 +307,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	writeReport(w, format, text)
+}
+
+func writeReport(w http.ResponseWriter, format, text string) {
 	switch format {
 	case stats.FormatJSON:
 		w.Header().Set("Content-Type", "application/json")

@@ -22,6 +22,7 @@ type job struct {
 	seq      int
 	spec     simapi.JobSpec
 	specHash string
+	client   string
 
 	mu        sync.Mutex
 	state     string
@@ -37,19 +38,24 @@ type job struct {
 	executed int
 
 	report *experiments.Report
-	events []simapi.Event
-	notify chan struct{}
+	// renders holds a recovered job's report pre-rendered per format: the
+	// in-memory report does not survive a WAL round trip, so a restarted
+	// server serves these instead.
+	renders map[string]string
+	events  []simapi.Event
+	notify  chan struct{}
 
 	// heapIndex is maintained by jobHeap while the job is queued (-1 after).
 	heapIndex int
 }
 
-func newJob(id string, seq int, spec simapi.JobSpec, specHash string, now time.Time) *job {
+func newJob(id string, seq int, spec simapi.JobSpec, specHash, client string, now time.Time) *job {
 	j := &job{
 		id:        id,
 		seq:       seq,
 		spec:      spec,
 		specHash:  specHash,
+		client:    client,
 		state:     simapi.StateQueued,
 		submitted: now,
 		notify:    make(chan struct{}),
@@ -161,6 +167,7 @@ func (j *job) info() simapi.JobInfo {
 		ID:            j.id,
 		Spec:          j.spec,
 		State:         j.state,
+		Client:        j.client,
 		Error:         j.errMsg,
 		Submitted:     j.submitted,
 		Started:       j.started,
@@ -190,6 +197,15 @@ func (j *job) result() *experiments.Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.report
+}
+
+// rendered returns a recovered job's pre-rendered report in the given
+// format, if one was replayed from the WAL.
+func (j *job) rendered(format string) (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	text, ok := j.renders[format]
+	return text, ok
 }
 
 // jobSink adapts a job (plus the shared cache and metrics counters) to

@@ -8,7 +8,7 @@ import (
 )
 
 func qjob(seq, priority int) *job {
-	return newJob("job-test", seq, simapi.JobSpec{Experiment: "sweep", Priority: priority}, "h", time.Now())
+	return newJob("job-test", seq, simapi.JobSpec{Experiment: "sweep", Priority: priority}, "h", DefaultClient, time.Now())
 }
 
 func TestQueuePriorityThenFIFO(t *testing.T) {

@@ -1,0 +1,227 @@
+package simserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simapi"
+	"repro/internal/simclient"
+)
+
+// benchSpec returns distinct small specs so quota tests never trip dedup by
+// accident.
+func benchSpec(bench string) simapi.JobSpec {
+	return simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{bench}, Iterations: 10}
+}
+
+// TestServerQuotaBackpressure: one client saturating its active-job cap gets
+// 429 with a Retry-After hint while a second client still schedules; once the
+// global queue bound fills, everyone gets 429; /metricsz exposes the
+// per-client gauges behind all of it. Workers are deliberately not started —
+// every job stays queued.
+func TestServerQuotaBackpressure(t *testing.T) {
+	srv, c := newTestServer(t, Config{
+		Workers:        1,
+		MaxQueuedJobs:  4,
+		QuotaMaxActive: 2,
+	})
+	ctx := context.Background()
+	alice := *c
+	alice.WithClientID("alice")
+	bob := *c
+	bob.WithClientID("bob")
+	carol := *c
+	carol.WithClientID("carol")
+
+	// Alice fills her cap...
+	for i, bench := range []string{"gzip", "applu"} {
+		if _, err := alice.Submit(ctx, benchSpec(bench)); err != nil {
+			t.Fatalf("alice submit %d: %v", i, err)
+		}
+	}
+	// ...and her third submission bounces with a retry hint.
+	_, err := alice.Submit(ctx, benchSpec("mgrid"))
+	var apiErr *simclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("alice over cap: error = %v, want 429 APIError", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Errorf("429 carried no Retry-After hint: %+v", apiErr)
+	}
+
+	// Bob is unaffected by alice's cap.
+	for i, bench := range []string{"mgrid", "twolf"} {
+		if _, err := bob.Submit(ctx, benchSpec(bench)); err != nil {
+			t.Fatalf("bob submit %d (alice saturated, bob must still schedule): %v", i, err)
+		}
+	}
+
+	// The queue now holds MaxQueuedJobs; even a fresh client bounces.
+	_, err = carol.Submit(ctx, benchSpec("parser"))
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("carol with full queue: error = %v, want 429 APIError", err)
+	}
+
+	m := srv.Metrics()
+	if g := m.Clients["alice"]; g.Queued != 2 || g.Submitted != 2 || g.Rejected != 1 {
+		t.Errorf("alice gauges = %+v, want queued 2 submitted 2 rejected 1", g)
+	}
+	if g := m.Clients["bob"]; g.Queued != 2 || g.Rejected != 0 {
+		t.Errorf("bob gauges = %+v, want queued 2 rejected 0", g)
+	}
+	if g := m.Clients["carol"]; g.Submitted != 0 || g.Rejected != 1 {
+		t.Errorf("carol gauges = %+v, want submitted 0 rejected 1", g)
+	}
+
+	// Dedup consumes no quota: an identical spec collapses onto the queued
+	// job even for a client at its cap.
+	dup, err := alice.Submit(ctx, benchSpec("gzip"))
+	if err != nil || !dup.Deduped {
+		t.Fatalf("dedup at cap = %+v, %v; dedup must not be charged against the quota", dup, err)
+	}
+}
+
+// TestServerQuota429Wire pins the HTTP shape of a quota refusal: status 429,
+// a Retry-After header in whole seconds, and a JSON body whose
+// retry_after_ms carries the precise hint — plus the 400 on a malformed
+// client identity header.
+func TestServerQuota429Wire(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, QuotaMaxActive: 1})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	submit := func(clientID, bench string) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(benchSpec(bench))
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/api/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clientID != "" {
+			req.Header.Set("X-Client-ID", clientID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := submit("alice", "gzip")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submission = %d, want 201", resp.StatusCode)
+	}
+	resp = submit("alice", "applu")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submission = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After header = %q, want a positive whole-second value", ra)
+	}
+	var eb simapi.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("429 body not JSON: %v", err)
+	}
+	if eb.Error == "" || eb.RetryAfterMillis <= 0 {
+		t.Errorf("429 body = %+v, want an error message and retry_after_ms", eb)
+	}
+
+	bad := submit("no spaces allowed", "gzip")
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed X-Client-ID = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestTenantRateLimit drives the token bucket with an injected clock: the
+// burst spends down, refusals name the precise wait for the next token, and
+// the bucket refills with time — per client, without touching a neighbor.
+func TestTenantRateLimit(t *testing.T) {
+	reg := newTenantRegistry(0, 1.0, 2) // 1 token/s, burst of 2
+	now := time.Unix(1_700_000_000, 0)
+	reg.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if err := reg.admit("alice"); err != nil {
+			t.Fatalf("burst submission %d: %v", i, err)
+		}
+	}
+	err := reg.admit("alice")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over-rate submission error = %v, want QuotaError", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want (0, 1s] (one token at 1/s)", qe.RetryAfter)
+	}
+	// Bob has his own bucket.
+	if err := reg.admit("bob"); err != nil {
+		t.Fatalf("bob blocked by alice's bucket: %v", err)
+	}
+	// Half a second refills half a token — still short.
+	now = now.Add(500 * time.Millisecond)
+	if err := reg.admit("alice"); !errors.As(err, &qe) {
+		t.Fatalf("after 0.5s: error = %v, want still rate-limited", err)
+	}
+	// A full second's refill admits again.
+	now = now.Add(600 * time.Millisecond)
+	if err := reg.admit("alice"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if g := reg.snapshot()["alice"]; g.Submitted != 3 || g.Rejected != 2 {
+		t.Errorf("alice gauges = %+v, want submitted 3 rejected 2", g)
+	}
+}
+
+// TestClientSubmitWaitHonorsRetryAfter: SubmitWait sleeps out the server's
+// 429 hint and lands the submission once the quota frees up.
+func TestClientSubmitWaitHonorsRetryAfter(t *testing.T) {
+	srv, c := newTestServer(t, Config{Workers: 1, QuotaMaxActive: 1})
+	c.WithClientID("alice")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	first, err := c.Submit(ctx, benchSpec("gzip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain Submit refuses while the first job occupies the cap...
+	if _, err := c.Submit(ctx, benchSpec("applu")); err == nil {
+		t.Fatal("second submission under a cap of 1 should 429")
+	}
+	// ...but SubmitWait retries through it once workers drain the queue.
+	srv.Start()
+	info, err := c.SubmitWait(ctx, benchSpec("applu"))
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if info.Deduped || info.ID == first.ID {
+		t.Fatalf("SubmitWait info = %+v, want a fresh job", info)
+	}
+	if final, err := c.Wait(ctx, info.ID); err != nil || final.State != simapi.StateDone {
+		t.Fatalf("retried job finished %+v, %v", final, err)
+	}
+}
+
+// TestValidClientID pins the accepted identity charset.
+func TestValidClientID(t *testing.T) {
+	for _, id := range []string{"alice", "team/ci-7", "a.b_c-d", "A0"} {
+		if !validClientID(id) {
+			t.Errorf("validClientID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range []string{"", "has space", "héllo", "semi;colon", strings.Repeat("x", 65)} {
+		if validClientID(id) {
+			t.Errorf("validClientID(%q) = true, want false", id)
+		}
+	}
+}

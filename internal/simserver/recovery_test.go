@@ -1,0 +1,315 @@
+package simserver
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simapi"
+	"repro/internal/simclient"
+)
+
+// crash abandons a server without the graceful-shutdown work. As far as the
+// on-disk state goes this is SIGKILL: every durable write was fsynced when it
+// happened, and none of Shutdown's goodbye records (cancel-the-queued-jobs)
+// are written. Only call it when no job is mid-run — a running job would see
+// its context cancelled and record a terminal state, which a real SIGKILL
+// never would.
+func crash(t *testing.T, srv *Server) {
+	t.Helper()
+	srv.queue.close()
+	srv.stop()
+	srv.wg.Wait()
+	if srv.wal != nil {
+		srv.wal.Close()
+	}
+	if err := srv.cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRecovery walks a durable server through its whole replay story:
+// queued jobs survive a crash and re-queue, terminal jobs come back queryable
+// with byte-identical reports, the dedup index / job sequence / per-client
+// gauges are all rebuilt, and a second restart restores everything as
+// terminal without re-running a single pair.
+func TestServerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, CodeRev: "test-rev", StateDir: dir}
+	specA := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip"}, Iterations: 10}
+	specB := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"applu"}, Iterations: 10}
+	specC := simapi.JobSpec{Experiment: "table5", Benchmarks: []string{"gzip"}, Iterations: 10}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Life 1: submit three jobs, cancel one, never start a worker, crash.
+	srv1, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("fresh state dir reported %d corrupt lines", corrupt)
+	}
+	a, err := srv1.Submit(specA, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv1.Submit(specB, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := srv1.Submit(specC, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv1.Cancel(c1.ID); !ok {
+		t.Fatal("cancel of queued job failed")
+	}
+	crash(t, srv1)
+
+	// Life 2: replay. The canceled job restores terminal; A and B re-queue.
+	srv2, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("replay reported %d corrupt lines, want 0 (clean crash)", corrupt)
+	}
+	restored, requeued := srv2.RecoveryStats()
+	if restored != 1 || requeued != 2 {
+		t.Fatalf("recovery stats = %d restored / %d requeued, want 1/2", restored, requeued)
+	}
+	infoA, ok := srv2.Job(a.ID)
+	if !ok || infoA.State != simapi.StateQueued || infoA.Client != "alice" {
+		t.Fatalf("replayed job A = %+v (ok=%v), want queued under alice", infoA, ok)
+	}
+	if infoC, ok := srv2.Job(c1.ID); !ok || infoC.State != simapi.StateCanceled {
+		t.Fatalf("replayed job C = %+v (ok=%v), want canceled", infoC, ok)
+	}
+	// The dedup index is rebuilt: an identical spec collapses onto the
+	// replayed job instead of queuing a duplicate.
+	dup, err := srv2.Submit(specA, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.ID != a.ID {
+		t.Fatalf("post-replay duplicate = %+v, want dedup onto %s", dup, a.ID)
+	}
+	// The job sequence continues where it left off — no recycled IDs.
+	specD := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"mgrid"}, Iterations: 10}
+	d, err := srv2.Submit(specD, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "job-000004" {
+		t.Fatalf("post-replay job id = %s, want job-000004 (sequence must survive restart)", d.ID)
+	}
+	// Per-client gauges rebuilt from the log.
+	clients := srv2.Metrics().Clients
+	if g := clients["alice"]; g.Queued != 1 || g.Submitted != 2 {
+		t.Errorf("alice gauges after replay = %+v, want queued 1 submitted 2", g)
+	}
+	if g := clients["bob"]; g.Queued != 1 {
+		t.Errorf("bob gauges after replay = %+v, want queued 1", g)
+	}
+
+	// Run the replayed queue to completion and remember A's report.
+	hs2 := httptest.NewServer(srv2.Handler())
+	cl2 := simclient.New(hs2.URL, nil)
+	srv2.Start()
+	for _, id := range []string{a.ID, b.ID, d.ID} {
+		final, err := cl2.Wait(ctx, id)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if final.State != simapi.StateDone {
+			t.Fatalf("replayed job %s finished %q (%s)", id, final.State, final.Error)
+		}
+	}
+	csvA, err := cl2.Report(ctx, a.ID, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv2.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 3: everything is terminal now. No worker ever starts, yet every
+	// job is queryable and A's report is served byte-identical from the
+	// pre-rendered WAL snapshot.
+	srv3, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("second replay reported %d corrupt lines", corrupt)
+	}
+	restored, requeued = srv3.RecoveryStats()
+	if restored != 4 || requeued != 0 {
+		t.Fatalf("second recovery = %d restored / %d requeued, want 4/0", restored, requeued)
+	}
+	hs3 := httptest.NewServer(srv3.Handler())
+	cl3 := simclient.New(hs3.URL, nil)
+	infoA3, err := cl3.Job(ctx, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA3.State != simapi.StateDone || infoA3.TotalPairs == 0 {
+		t.Fatalf("restored job A = %+v, want done with pair counts", infoA3)
+	}
+	csvA3, err := cl3.Report(ctx, a.ID, "csv")
+	if err != nil {
+		t.Fatalf("report of restored job: %v", err)
+	}
+	if string(csvA3) != string(csvA) {
+		t.Errorf("restored CSV differs from the pre-restart render:\n got: %q\nwant: %q", csvA3, csvA)
+	}
+	// A re-submission of a restored job's spec is a fresh job served entirely
+	// from the persisted result cache — no pair ever executes twice.
+	srv3.Start()
+	re, err := cl3.Submit(ctx, specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl3.Wait(ctx, re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.ExecutedPairs != 0 || final.CachedPairs == 0 {
+		t.Fatalf("re-run after restart = %+v, want fully cache-served", final)
+	}
+	hs3.Close()
+	s3ctx, s3cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer s3cancel()
+	if err := srv3.Shutdown(s3ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerWALCompaction: with the compaction threshold at 1 append, every
+// job completion rewrites the log down to its snapshot — two lines per
+// retained job — and the rewritten log still replays.
+func TestServerWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, CodeRev: "test-rev", StateDir: dir, WALCompactEvery: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	srv, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("corrupt = %d", corrupt)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	cl := simclient.New(hs.URL, nil)
+	srv.Start()
+	info, err := cl.Submit(ctx, simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip"}, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Wait observes the terminal state slightly before finishAccounting runs
+	// compaction; poll briefly instead of racing it.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.wal.AppendsSinceCompact() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("AppendsSinceCompact = %d, compaction never ran", srv.wal.AppendsSinceCompact())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 2 {
+		t.Errorf("compacted WAL has %d lines, want 2 (submitted + completed):\n%s", lines, raw)
+	}
+	hs.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted log replays: the job is back, terminal, report intact.
+	srv2, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 0 {
+		t.Fatalf("compacted log replayed %d corrupt lines", corrupt)
+	}
+	restored, requeued := srv2.RecoveryStats()
+	if restored != 1 || requeued != 0 {
+		t.Fatalf("recovery from compacted log = %d/%d, want 1/0", restored, requeued)
+	}
+	got, ok := srv2.jobs[info.ID]
+	if !ok {
+		t.Fatal("compacted log lost the job")
+	}
+	if _, haveCSV := got.rendered("csv"); !haveCSV {
+		t.Fatal("restored job missing its pre-rendered report")
+	}
+	sctx2, scancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel2()
+	if err := srv2.Shutdown(sctx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRecoveryTolerantOfCorruptTail: a torn WAL tail (half an append)
+// is skipped with a count, and every record before it replays.
+func TestServerRecoveryTolerantOfCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, CodeRev: "test-rev", StateDir: dir}
+	srv1, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := srv1.Submit(simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip"}, Iterations: 10}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(t, srv1)
+
+	// Tear the tail the way a crash mid-append would.
+	walPath := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"submitted","job_id":"job-000002","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, corrupt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1 (the torn tail)", corrupt)
+	}
+	if _, requeued := srv2.RecoveryStats(); requeued != 1 {
+		t.Fatalf("requeued = %d, want 1", requeued)
+	}
+	if _, ok := srv2.Job(a.ID); !ok {
+		t.Fatal("durable record before the torn tail did not replay")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv2.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -35,6 +37,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/simapi"
+	"repro/internal/simstore"
+	"repro/internal/stats"
 )
 
 // Config configures a Server.
@@ -76,6 +80,30 @@ type Config struct {
 	// PollInterval is the idle lease-polling interval suggested to remote
 	// workers at registration (0 = 500ms).
 	PollInterval time.Duration
+	// StateDir enables durability: the write-ahead job log (wal.jsonl) lives
+	// here and, unless CachePath overrides it, the result cache
+	// (results.jsonl) too. A server restarted with the same StateDir replays
+	// the log — terminal jobs come back queryable with their reports, and
+	// jobs that were queued or running re-queue and resume their
+	// already-finished pairs from the result cache. "" = memory-only (a
+	// restart loses all jobs, exactly as before).
+	StateDir string
+	// WALCompactEvery compacts the write-ahead log down to a snapshot of the
+	// retained jobs after N appends (0 = 512), so the log does not grow
+	// without bound.
+	WALCompactEvery int
+	// MaxQueuedJobs bounds the global job queue: submissions beyond it are
+	// refused with a retryable QuotaError (HTTP 429 + Retry-After) instead
+	// of queuing without bound (0 = unlimited).
+	MaxQueuedJobs int
+	// QuotaMaxActive caps one client's active (queued or running) jobs, so a
+	// single client cannot occupy the whole queue (0 = unlimited).
+	QuotaMaxActive int
+	// QuotaRate and QuotaBurst rate-limit each client's submissions with a
+	// token bucket refilled at QuotaRate tokens/second up to a QuotaBurst
+	// capacity (rate 0 = no rate limit; burst 0 = 1).
+	QuotaRate  float64
+	QuotaBurst int
 	// Logf, if set, receives one line per job lifecycle edge ("" = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -90,13 +118,18 @@ type Server struct {
 	queue    *jobQueue
 	metrics  *metrics
 	dispatch *dispatcher
+	wal      *simstore.WAL // nil unless cfg.StateDir is set
 	mux      *http.ServeMux
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	recRestored int // terminal jobs replayed from the WAL by New
+	recRequeued int // non-terminal jobs re-queued from the WAL by New
+
 	mu       sync.Mutex
+	tenants  *tenantRegistry
 	jobs     map[string]*job
 	order    []*job            // submission order, for listing
 	finished []*job            // terminal jobs in completion order, for bounded retention
@@ -104,8 +137,12 @@ type Server struct {
 	nextSeq  int
 }
 
-// New builds a server and warms its result cache from cfg.CachePath. The
-// returned corrupt count is the number of unreadable cache lines skipped.
+// New builds a server, warms its result cache from cfg.CachePath, and — when
+// cfg.StateDir is set — replays the write-ahead job log, restoring terminal
+// jobs and re-queuing the ones a crash interrupted. The returned corrupt
+// count is the number of unreadable persisted lines skipped (result cache
+// plus WAL; a torn tail from a crash mid-append lands here, never as an
+// error).
 func New(cfg Config) (s *Server, corrupt int, err error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -127,6 +164,17 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 500 * time.Millisecond
 	}
+	if cfg.WALCompactEvery <= 0 {
+		cfg.WALCompactEvery = 512
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, 0, fmt.Errorf("simserver: creating state dir: %w", err)
+		}
+		if cfg.CachePath == "" {
+			cfg.CachePath = filepath.Join(cfg.StateDir, "results.jsonl")
+		}
+	}
 	rev := cfg.CodeRev
 	if rev == "" {
 		rev = CodeRevision()
@@ -146,10 +194,39 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 		stop:    cancel,
 		jobs:    make(map[string]*job),
 		active:  make(map[string]string),
+		tenants: newTenantRegistry(cfg.QuotaMaxActive, cfg.QuotaRate, cfg.QuotaBurst),
 	}
 	s.dispatch = newDispatcher(cfg.LeaseTTL, cfg.WorkerTTL, cfg.PollInterval, s.logf)
+	s.dispatch.walLog = s.walAppend
+	if cfg.StateDir != "" {
+		wal, records, walCorrupt, werr := simstore.Open(filepath.Join(cfg.StateDir, "wal.jsonl"), simstore.Hooks{})
+		if werr != nil {
+			cache.Close()
+			cancel()
+			return nil, corrupt, werr
+		}
+		corrupt += walCorrupt
+		if walCorrupt > 0 {
+			s.logf("wal: skipped %d corrupt line(s) during replay", walCorrupt)
+		}
+		s.wal = wal
+		s.recover(records)
+		// Startup compaction: replay noise (started records, stale leases,
+		// evicted jobs, the corrupt tail) is rewritten away so the log
+		// restarts from a clean snapshot of the live state.
+		if cerr := wal.Compact(s.walSnapshotLocked()); cerr != nil {
+			s.logf("wal: startup compaction: %v", cerr)
+		}
+	}
 	s.routes()
 	return s, corrupt, nil
+}
+
+// RecoveryStats reports what New replayed from the WAL: jobs restored in a
+// terminal state (still queryable, reports included) and jobs re-queued for
+// execution because a crash interrupted them.
+func (s *Server) RecoveryStats() (restored, requeued int) {
+	return s.recRestored, s.recRequeued
 }
 
 // Start launches the worker pool and the lease reaper.
@@ -208,6 +285,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if cerr := s.cache.Close(); err == nil {
 		err = cerr
 	}
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 
@@ -220,11 +302,27 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// Submit validates and enqueues a spec, deduplicating against active
-// (queued or running) jobs with an identical spec: those return the existing
-// job with Deduped set instead of queuing a copy. Completed jobs do not
-// dedup — a re-submission runs again and is served from the result cache.
-func (s *Server) Submit(spec simapi.JobSpec) (simapi.JobInfo, error) {
+// DefaultClient is the client identity of submissions that carry none (no
+// X-Client-ID header). All anonymous submissions share one quota bucket.
+const DefaultClient = "anonymous"
+
+// Submit validates and enqueues a spec under the given client identity
+// ("" = DefaultClient), deduplicating against active (queued or running)
+// jobs with an identical spec: those return the existing job with Deduped
+// set instead of queuing a copy (dedup is free — it consumes no quota).
+// Completed jobs do not dedup — a re-submission runs again and is served
+// from the result cache.
+//
+// Admission control runs after validation: the global queue bound, then the
+// client's token-bucket rate limit and active-job cap. A refusal is a
+// *QuotaError carrying a Retry-After hint. With durability enabled the job
+// is written to the WAL before it becomes visible — a submission that cannot
+// be made durable is refused rather than accepted into a job registry a
+// restart would forget.
+func (s *Server) Submit(spec simapi.JobSpec, client string) (simapi.JobInfo, error) {
+	if client == "" {
+		client = DefaultClient
+	}
 	if _, err := experiments.Lookup(spec.Experiment); err != nil {
 		return simapi.JobInfo{}, err
 	}
@@ -271,8 +369,31 @@ func (s *Server) Submit(spec simapi.JobSpec) (simapi.JobInfo, error) {
 		info.Deduped = true
 		return info, nil
 	}
+	if s.cfg.MaxQueuedJobs > 0 && s.queue.depth() >= s.cfg.MaxQueuedJobs {
+		s.tenants.rejectQueueFull(client)
+		s.mu.Unlock()
+		return simapi.JobInfo{}, &QuotaError{
+			Reason:     fmt.Sprintf("job queue is full (%d queued)", s.cfg.MaxQueuedJobs),
+			RetryAfter: time.Second,
+		}
+	}
+	if err := s.tenants.admit(client); err != nil {
+		s.mu.Unlock()
+		return simapi.JobInfo{}, err
+	}
 	s.nextSeq++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextSeq), s.nextSeq, spec, hash, time.Now())
+	j := newJob(fmt.Sprintf("job-%06d", s.nextSeq), s.nextSeq, spec, hash, client, time.Now())
+	if s.wal != nil {
+		if err := s.wal.Append(simstore.Record{
+			Type: simstore.RecSubmitted, Time: j.submitted, JobID: j.id,
+			Seq: j.seq, Client: client, SpecHash: hash, Spec: &spec,
+		}); err != nil {
+			s.tenants.unadmit(client)
+			s.nextSeq--
+			s.mu.Unlock()
+			return simapi.JobInfo{}, fmt.Errorf("simserver: persisting submission: %w", err)
+		}
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.active[hash] = j.id
@@ -366,7 +487,8 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
-	if !j.start(cancel, time.Now()) {
+	now := time.Now()
+	if !j.start(cancel, now) {
 		// Canceled between pop and start: record the terminal state here,
 		// since no worker will.
 		if j.markCanceledQueued(time.Now()) {
@@ -374,6 +496,10 @@ func (s *Server) runJob(j *job) {
 		}
 		return
 	}
+	s.mu.Lock()
+	s.tenants.jobStarted(j.client)
+	s.mu.Unlock()
+	s.walAppend(simstore.Record{Type: simstore.RecStarted, Time: now, JobID: j.id})
 	s.metrics.jobStarted(j.seq)
 	startT := time.Now()
 	defer s.metrics.jobEnded(j.seq)
@@ -427,9 +553,10 @@ func (s *Server) runJob(j *job) {
 }
 
 // finishAccounting updates terminal-state counters, releases the job's
-// dedup slot, and evicts the oldest terminal jobs past the retention cap —
-// without it a long-lived server's job registry (and every job's event log)
-// would grow forever.
+// dedup slot and quota reservation, persists the terminal WAL record, and
+// evicts the oldest terminal jobs past the retention cap — without it a
+// long-lived server's job registry (and every job's event log) would grow
+// forever.
 func (s *Server) finishAccounting(j *job, state string) {
 	switch state {
 	case simapi.StateDone:
@@ -439,7 +566,23 @@ func (s *Server) finishAccounting(j *job, state string) {
 	case simapi.StateCanceled:
 		s.metrics.canceled.Add(1)
 	}
+	info := j.info()
+	rec := simstore.Record{
+		Type: simstore.RecCompleted, Time: info.Finished, JobID: j.id,
+		State: state, Error: info.Error,
+		Pairs: &simstore.PairCounts{
+			Total: info.TotalPairs, Cached: info.CachedPairs, Executed: info.ExecutedPairs,
+		},
+	}
+	if state == simapi.StateCanceled {
+		rec.Type = simstore.RecCanceled
+	}
+	if state == simapi.StateDone {
+		rec.Reports = renderAll(j.result())
+	}
+	s.walAppend(rec)
 	s.mu.Lock()
+	s.tenants.jobFinished(j.client, !info.Started.IsZero())
 	if s.active[j.specHash] == j.id {
 		delete(s.active, j.specHash)
 	}
@@ -455,7 +598,43 @@ func (s *Server) finishAccounting(j *job, state string) {
 			}
 		}
 	}
+	if s.wal != nil && s.wal.AppendsSinceCompact() >= s.cfg.WALCompactEvery {
+		if err := s.wal.Compact(s.walSnapshotLocked()); err != nil {
+			s.logf("wal: compaction: %v", err)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// walAppend logs one record when durability is enabled. Append failures on
+// mid-run transitions degrade to a warning — the job's work is still
+// recoverable from the result cache — unlike submissions, which fail hard in
+// Submit.
+func (s *Server) walAppend(rec simstore.Record) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.logf("wal: %v", err)
+	}
+}
+
+// renderAll pre-renders a finished report in every format for the WAL: the
+// in-memory report's rows are experiment-specific and do not survive a JSON
+// round trip, so a restarted server serves these instead.
+func renderAll(rep *experiments.Report) map[string]string {
+	if rep == nil {
+		return nil
+	}
+	out := make(map[string]string, 4)
+	for _, format := range stats.Formats() {
+		text, err := rep.Render(format)
+		if err != nil {
+			continue
+		}
+		out[format] = text
+	}
+	return out
 }
 
 // Health assembles the /healthz document.
@@ -467,5 +646,9 @@ func (s *Server) Health() simapi.Health {
 
 // Metrics assembles the /metricsz document.
 func (s *Server) Metrics() simapi.Metrics {
-	return s.metrics.snapshot(s.queue.depth(), s.cfg.Workers, s.cache, s.rev, s.dispatch.stats())
+	m := s.metrics.snapshot(s.queue.depth(), s.cfg.Workers, s.cache, s.rev, s.dispatch.stats())
+	s.mu.Lock()
+	m.Clients = s.tenants.snapshot()
+	s.mu.Unlock()
+	return m
 }

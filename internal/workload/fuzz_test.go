@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the scenario spec parser. Scenarios arrive over
+// the network as inline job specs, so the parser must never panic on hostile
+// input, and any spec it accepts must honour the identity contract the
+// result cache depends on: the canonical form re-parses, and re-parsing it
+// yields the same canonical form and hash (otherwise one workload could be
+// cached under two keys, or two workloads under one).
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"name":"baseline"}`))
+	f.Add([]byte(`{"name":"hot-mix","iterations":2000,"mix":{"indep_pct":50,"full_comm_pct":30,"path_dep_pct":10,"partial_pct":8,"partial_store_pct":2},"store_distance":"far","partial_shape":"signed","erratic_per_10k":3.5,"footprint_kb":256,"fp_heavy":true,"branch_entropy":0.25,"seed":42}`))
+	f.Add([]byte(`{"name":"storm","pattern":"alias-storm","iterations":500}`))
+	f.Add([]byte(`{"unknown_field":true,"name":"tolerant"}`))
+	f.Add([]byte(`{"name":"bad","iterations":-1}`))
+	f.Add([]byte(`{"name":"bad mix","mix":{"indep_pct":10}}`))
+	f.Add([]byte(`{"name":"overflow","footprint_kb":99999999999}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\xff garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return // rejected is always fine; panics are the bug
+		}
+		canon := s.Canonical()
+		again, err := ParseScenario(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v (input %q, canonical %q)", err, data, canon)
+		}
+		if !bytes.Equal(again.Canonical(), canon) {
+			t.Fatalf("canonical form not a fixed point: %q -> %q (input %q)", canon, again.Canonical(), data)
+		}
+		if again.Hash() != s.Hash() {
+			t.Fatalf("hash changed across canonical round trip (input %q)", data)
+		}
+	})
+}
