@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	for _, v := range []float64{20, 0.5, 100} {
+		if err := validateFlags(v); err != nil {
+			t.Errorf("-max-regression %v rejected: %v", v, err)
+		}
+	}
+	// A zero threshold fails the gate on any timer noise and a negative one
+	// fails even on improvements; both must be rejected up front instead of
+	// silently producing a gate that can never pass.
+	for _, v := range []float64{0, -1, -20} {
+		if err := validateFlags(v); err == nil {
+			t.Errorf("-max-regression %v accepted, want error", v)
+		}
+	}
+}

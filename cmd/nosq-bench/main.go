@@ -4,12 +4,15 @@
 // With -baseline it also gates the run against a committed measurement,
 // exiting non-zero when any configuration's geometric-mean throughput drops
 // by more than -max-regression percent. This is the command CI's bench job
-// runs on every push.
+// runs on every push. With -summary it appends a Markdown geomean-delta
+// table (per configuration kind, plus the config-parallel batch measurement)
+// to the given file — CI points it at $GITHUB_STEP_SUMMARY.
 //
 // Examples:
 //
 //	nosq-bench -out bench/
 //	nosq-bench -baseline bench/BENCH_baseline.json -max-regression 20
+//	nosq-bench -baseline bench/BENCH_baseline.json -summary "$GITHUB_STEP_SUMMARY"
 //	nosq-bench -benchmarks gzip,mesa.o -iters 60 -repeats 1
 package main
 
@@ -24,6 +27,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/perf"
 )
+
+// validateFlags rejects flag values that would make the perf gate vacuous or
+// always-failing: a zero -max-regression fails on any timer noise, and a
+// negative one fails even on improvements, so both almost certainly mean a
+// mistyped invocation rather than an intended policy.
+func validateFlags(maxRegression float64) error {
+	if maxRegression <= 0 {
+		return fmt.Errorf("-max-regression must be a positive percentage, got %v", maxRegression)
+	}
+	return nil
+}
 
 // revision resolves the revision label: the -rev flag, else git's short
 // HEAD, else "dev".
@@ -49,8 +63,14 @@ func main() {
 		window   = flag.Int("window", 0, "instruction window size (0 = harness default)")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's selected benchmarks)")
 		configs  = flag.String("configs", "", "comma-separated configuration kinds (default: all five)")
+		summary  = flag.String("summary", "", "append a Markdown comparison table to this file (CI points it at $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*maxDrop); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := perf.Options{
 		Iterations: *iters,
@@ -91,17 +111,31 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", path)
 
-	if *baseline == "" {
+	var base *perf.Result
+	if *baseline != "" {
+		base, err = perf.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := perf.Comparable(base, res); err != nil {
+			fmt.Fprintf(os.Stderr, "%v; run with the baseline's settings to gate\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// The Markdown summary is written before the gate's verdict so a failing
+	// CI run still shows its numbers. Improvements are flagged at the same
+	// threshold that gates regressions.
+	if *summary != "" {
+		if err := appendSummary(*summary, perf.MarkdownSummary(base, res, *maxDrop)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if base == nil {
 		return
-	}
-	base, err := perf.ReadFile(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if err := perf.Comparable(base, res); err != nil {
-		fmt.Fprintf(os.Stderr, "%v; run with the baseline's settings to gate\n", err)
-		os.Exit(2)
 	}
 	regs := perf.Compare(base, res, *maxDrop)
 	if len(regs) == 0 {
@@ -113,4 +147,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
 	os.Exit(1)
+}
+
+// appendSummary appends Markdown to path, creating it if needed —
+// $GITHUB_STEP_SUMMARY semantics, where several steps may share one file.
+func appendSummary(path, md string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(md + "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

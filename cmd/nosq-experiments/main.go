@@ -58,6 +58,7 @@ func main() {
 		shardIndex = flag.Int("shard-index", 0, "this process's 0-based shard (with -shards)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
 		scenario   = flag.String("scenario", "", "workload scenario spec file (JSON) to run through the scenario experiment")
+		noBatch    = flag.Bool("no-batch", false, "disable config-parallel batch simulation (results are identical either way; NOSQ_NO_BATCH=1 has the same effect)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 		Shards:      *shards,
 		ShardIndex:  *shardIndex,
 		Checkpoint:  *checkpoint,
+		NoBatch:     *noBatch,
 	}
 	if *scenario != "" {
 		// A spec file implies the scenario experiment: -exp all narrows to it,

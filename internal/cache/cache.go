@@ -75,6 +75,14 @@ type Cache struct {
 	setMask  uint64
 	counter  uint64
 	stats    Stats
+	// Line buffer: the block, set and way of the most recent access, letting
+	// the extremely common repeat access to the same line (sequential fetch,
+	// stack traffic) skip the set scan. The remembered line was just touched,
+	// so it is MRU and cannot be evicted before a different line is accessed;
+	// lastBlk is invalidated when the line is.
+	lastBlk uint64
+	lastSet uint64
+	lastWay int
 }
 
 // New creates a cache from the configuration; it panics on an invalid
@@ -95,6 +103,7 @@ func New(cfg Config) *Cache {
 		lineBits: log2(uint64(cfg.LineBytes)),
 		setBits:  log2(uint64(numSets)),
 		setMask:  uint64(numSets - 1),
+		lastWay:  -1, // line buffer empty
 	}
 }
 
@@ -127,7 +136,17 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.counter++
 	c.stats.Accesses++
-	setIdx, tag := c.index(addr)
+	blk := addr >> c.lineBits
+	if blk == c.lastBlk && c.lastWay >= 0 {
+		// Line-buffer hit: exactly the state updates of the scan's hit case.
+		l := &c.sets[c.lastSet][c.lastWay]
+		l.lastUse = c.counter
+		if write {
+			l.dirty = true
+		}
+		return true
+	}
+	setIdx, tag := blk&c.setMask, blk>>c.setBits
 	set := c.sets[setIdx]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -135,6 +154,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 			if write {
 				set[i].dirty = true
 			}
+			c.lastBlk, c.lastSet, c.lastWay = blk, setIdx, i
 			return true
 		}
 	}
@@ -154,6 +174,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		c.stats.Writebacks++
 	}
 	set[victim] = line{valid: true, dirty: write, tag: tag, lastUse: c.counter}
+	c.lastBlk, c.lastSet, c.lastWay = blk, setIdx, victim
 	return false
 }
 
@@ -172,6 +193,9 @@ func (c *Cache) Probe(addr uint64) bool {
 // Invalidate removes the line containing addr if present.
 func (c *Cache) Invalidate(addr uint64) {
 	setIdx, tag := c.index(addr)
+	if addr>>c.lineBits == c.lastBlk {
+		c.lastWay = -1
+	}
 	set := c.sets[setIdx]
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -190,6 +214,7 @@ func (c *Cache) Reset() {
 	}
 	c.counter = 0
 	c.stats = Stats{}
+	c.lastWay = -1
 }
 
 // TLB is a small fully-set-associative translation lookaside buffer modelled

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"os"
+
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// batchGroupCap bounds how many configurations one config-parallel batch
+// simulates together. Each member carries its own window, caches and
+// predictor state, so an unbounded group would blow the per-worker cache
+// footprint that makes sharing the trace a win in the first place.
+const batchGroupCap = 8
+
+// batchDisabled reports whether config-parallel execution is off for this
+// run: Options.NoBatch (the CLIs' -no-batch flag) or the NOSQ_NO_BATCH
+// environment variable (any non-empty value — the CI bit-identity job's
+// lever for forcing the scalar reference path).
+func (o Options) batchDisabled() bool {
+	return o.NoBatch || os.Getenv("NOSQ_NO_BATCH") != ""
+}
+
+// sweepGroup is the worker pool's unit of execution: pending pairs of one
+// benchmark that run as a single config-parallel batch over the benchmark's
+// shared trace (width > 1), or one pair on the scalar path (width 1).
+type sweepGroup struct {
+	benchmark string
+	jobs      []sweepJob // ascending index order
+}
+
+// groupKey decides which pending pairs may share one batch: the same
+// benchmark (members replay one recorded trace) and the same window geometry
+// (members of equal ROB size progress through the trace in step under the
+// batch's committed-instruction round-robin, which is what keeps the shared
+// trace region hot for every member).
+type groupKey struct {
+	benchmark string
+	robSize   int
+}
+
+// planGroups partitions the pending jobs — already in ascending full-order
+// index — into execution groups. Pairs sharing a groupKey batch together up
+// to batchGroupCap per group; everything else (including every pair when
+// noBatch is set) becomes a singleton group that runs on the scalar path.
+// Grouping only changes which worker simulates which pair and how: per-pair
+// results, checkpoint entries and progress events are emitted exactly as
+// before, so reports are byte-identical either way.
+func planGroups(pending []sweepJob, noBatch bool) []sweepGroup {
+	if noBatch {
+		groups := make([]sweepGroup, len(pending))
+		for i, j := range pending {
+			groups[i] = sweepGroup{benchmark: j.benchmark, jobs: []sweepJob{j}}
+		}
+		return groups
+	}
+	open := make(map[groupKey]int) // key -> index of its open group
+	var groups []sweepGroup
+	for _, j := range pending {
+		k := groupKey{benchmark: j.benchmark, robSize: j.cfg.ROBSize}
+		gi, ok := open[k]
+		if !ok || len(groups[gi].jobs) >= batchGroupCap {
+			groups = append(groups, sweepGroup{benchmark: j.benchmark})
+			gi = len(groups) - 1
+			open[k] = gi
+		}
+		groups[gi].jobs = append(groups[gi].jobs, j)
+	}
+	return groups
+}
+
+// sweepResult is one finished pair, as delivered to runSweep's collector.
+type sweepResult struct {
+	job sweepJob
+	run stats.Run
+	err error
+}
+
+// effectiveConfig applies the sweep-wide instruction bound to a job's
+// configuration (the same override the scalar path has always applied).
+func effectiveConfig(j sweepJob, opts Options) pipeline.Config {
+	cfg := j.cfg
+	if opts.MaxInsts > 0 {
+		cfg.MaxInsts = opts.MaxInsts
+	}
+	return cfg
+}
+
+func runScalar(tr *emu.Trace, cfg pipeline.Config) (stats.Run, error) {
+	sim, err := pipeline.NewFromTrace(tr, cfg)
+	if err != nil {
+		return stats.Run{}, err
+	}
+	return sim.Run()
+}
+
+// runGroup executes one group's pairs and returns a result per pair, in job
+// order. Groups of width > 1 run config-parallel over the benchmark's shared
+// trace and pre-decoded TraceMeta; singleton groups — and any group whose
+// batch cannot be constructed (structural divergence between what the
+// planner grouped and what the batch accepts) — fall back to the scalar
+// one-simulation-per-pair path. Either way each pair's statistics are
+// bit-identical, so the fallback is silent by design.
+func runGroup(g sweepGroup, traces *traceCache, opts Options) []sweepResult {
+	out := make([]sweepResult, len(g.jobs))
+	for i := range out {
+		out[i].job = g.jobs[i]
+	}
+	// Release counts finished jobs — including failed ones — so a benchmark's
+	// trace is always dropped when its last job ends.
+	defer func() {
+		for range g.jobs {
+			traces.release(g.benchmark)
+		}
+	}()
+	tr, err := traces.get(g.benchmark)
+	if err != nil {
+		for i := range out {
+			out[i].err = err
+		}
+		return out
+	}
+	if len(g.jobs) > 1 {
+		if meta, merr := traces.getMeta(g.benchmark); merr == nil {
+			cfgs := make([]pipeline.Config, len(g.jobs))
+			for i, j := range g.jobs {
+				cfgs[i] = effectiveConfig(j, opts)
+			}
+			if b, berr := pipeline.NewBatchWithMeta(tr, meta, cfgs); berr == nil {
+				runs, errs := b.Run()
+				for i := range out {
+					out[i].run, out[i].err = runs[i], errs[i]
+				}
+				return out
+			}
+		}
+		// Batch construction failed: run the members individually below.
+	}
+	for i, j := range g.jobs {
+		out[i].run, out[i].err = runScalar(tr, effectiveConfig(j, opts))
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func groupShape(groups []sweepGroup) [][]int {
+	out := make([][]int, len(groups))
+	for i, g := range groups {
+		for _, j := range g.jobs {
+			out[i] = append(out[i], j.index)
+		}
+	}
+	return out
+}
+
+func TestPlanGroupsByBenchmarkAndGeometry(t *testing.T) {
+	cfg128 := pipeline.Config{ROBSize: 128}
+	cfg256 := pipeline.Config{ROBSize: 256}
+	pending := []sweepJob{
+		{index: 0, benchmark: "a", cfg: cfg128},
+		{index: 1, benchmark: "a", cfg: cfg256},
+		{index: 2, benchmark: "a", cfg: cfg128},
+		{index: 3, benchmark: "b", cfg: cfg128},
+		{index: 5, benchmark: "a", cfg: cfg256},
+		{index: 8, benchmark: "b", cfg: cfg128},
+	}
+	got := groupShape(planGroups(pending, false))
+	// Same benchmark + same ROB size group together even when non-adjacent
+	// (sorted config keys interleave windows) or when sharding left index
+	// gaps; different benchmarks and geometries never mix.
+	want := [][]int{{0, 2}, {1, 5}, {3, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("groups = %v, want %v", got, want)
+	}
+}
+
+func TestPlanGroupsCapsWidth(t *testing.T) {
+	var pending []sweepJob
+	for i := 0; i < batchGroupCap+3; i++ {
+		pending = append(pending, sweepJob{index: i, benchmark: "a", cfg: pipeline.Config{ROBSize: 128}})
+	}
+	groups := planGroups(pending, false)
+	if len(groups) != 2 || len(groups[0].jobs) != batchGroupCap || len(groups[1].jobs) != 3 {
+		t.Errorf("groups = %v, want one full group of %d plus the remainder", groupShape(groups), batchGroupCap)
+	}
+}
+
+func TestPlanGroupsNoBatchIsAllSingletons(t *testing.T) {
+	pending := []sweepJob{
+		{index: 0, benchmark: "a", cfg: pipeline.Config{ROBSize: 128}},
+		{index: 1, benchmark: "a", cfg: pipeline.Config{ROBSize: 128}},
+		{index: 2, benchmark: "a", cfg: pipeline.Config{ROBSize: 128}},
+	}
+	groups := planGroups(pending, true)
+	if len(groups) != len(pending) {
+		t.Fatalf("noBatch planned %d groups, want %d singletons", len(groups), len(pending))
+	}
+	for i, g := range groups {
+		if len(g.jobs) != 1 || g.jobs[i%1].index != i {
+			t.Errorf("group %d = %v, want the single job %d", i, groupShape(groups[i:i+1]), i)
+		}
+	}
+}
+
+// TestSweepBatchBitIdenticalToScalar is the in-repo analogue of CI's
+// bit-identity job: the same sweep run config-parallel and forced-scalar must
+// render byte-for-byte identically in every report format.
+func TestSweepBatchBitIdenticalToScalar(t *testing.T) {
+	run := func(noBatch bool) *Report {
+		rep, err := Sweep(context.Background(), Options{
+			Iterations: 25,
+			Benchmarks: []string{"gzip", "applu"},
+			Configs: []string{core.Baseline.String(), core.NoSQDelay.String(),
+				core.NoSQNoDelay.String()},
+			Windows:     []int{128},
+			Parallelism: 4,
+			NoBatch:     noBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	batched, scalar := run(false), run(true)
+	if batched.Summary.BatchedPairs == 0 || batched.Summary.BatchGroups == 0 {
+		t.Fatalf("batched run planned no batch groups: %+v", batched.Summary)
+	}
+	if scalar.Summary.BatchedPairs != 0 || scalar.Summary.BatchGroups != 0 {
+		t.Fatalf("NoBatch run still planned batches: %+v", scalar.Summary)
+	}
+	for _, format := range stats.Formats() {
+		b, err := batched.Render(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := scalar.Render(format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != s {
+			t.Errorf("%s rendering differs between batched and scalar runs:\nbatched:\n%s\nscalar:\n%s", format, b, s)
+		}
+	}
+}
+
+// TestSweepSliceSplitsBatchGroup: a leased pair slice that cuts through a
+// batch group must produce, after merging the per-slice checkpoints, exactly
+// the results of an unsliced run — each side simply batches its own part of
+// the group.
+func TestSweepSliceSplitsBatchGroup(t *testing.T) {
+	benchmarks := []string{"gzip"}
+	cfgs := kindConfigs(core.Kinds(), 0) // 5 pairs, one batchable group
+	full, fullSum, err := runSweep(context.Background(), benchmarks, cfgs,
+		Options{Iterations: 25, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullSum.BatchedPairs != len(cfgs) {
+		t.Fatalf("full run batched %d pairs, want all %d", fullSum.BatchedPairs, len(cfgs))
+	}
+
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	for _, sl := range []PairSlice{{Start: 0, End: 2}, {Start: 2, End: 5}} {
+		sl := sl
+		_, sum, err := runSweep(context.Background(), benchmarks, cfgs,
+			Options{Iterations: 25, Parallelism: 2, Checkpoint: ck, Slice: &sl})
+		if err != nil {
+			t.Fatalf("slice %+v: %v", sl, err)
+		}
+		if want := sl.End - sl.Start; sum.Executed != want {
+			t.Errorf("slice %+v executed %d pairs, want %d", sl, sum.Executed, want)
+		}
+		if sum.BatchedPairs != sum.Executed {
+			t.Errorf("slice %+v batched %d of its %d pairs", sl, sum.BatchedPairs, sum.Executed)
+		}
+	}
+
+	merged, sum, err := runSweep(context.Background(), benchmarks, cfgs,
+		Options{Iterations: 25, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 0 || sum.Resumed != len(cfgs) {
+		t.Fatalf("merged replay summary = %+v, want everything resumed", sum)
+	}
+	if !reflect.DeepEqual(merged, full) {
+		t.Error("slice-split batch groups produced different results than the unsliced run")
+	}
+}
+
+// TestSweepBatchFallsBackOnBadGroup: a group whose batch cannot be
+// constructed must still produce per-pair results via the scalar fallback
+// rather than failing the pairs.
+func TestRunGroupScalarFallback(t *testing.T) {
+	prog, err := workload.Generate("gzip", workload.Options{Iterations: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.ConfigFor(core.Baseline, 0)
+	bad := cfg
+	bad.IssueWidth = 0 // rejected by config validation at simulator construction
+	pending := []sweepJob{
+		{index: 0, benchmark: "gzip", key: "ok", cfg: cfg},
+		{index: 1, benchmark: "gzip", key: "bad", cfg: bad},
+	}
+	traces := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+	results := runGroup(sweepGroup{benchmark: "gzip", jobs: pending}, traces, Options{})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if results[0].err != nil || results[0].run.Committed == 0 {
+		t.Errorf("good pair: err=%v run=%+v, want a successful scalar-fallback run", results[0].err, results[0].run)
+	}
+	if results[1].err == nil {
+		t.Error("bad pair should report its construction error")
+	}
+}

@@ -37,6 +37,12 @@ type traceEntry struct {
 	record func()
 	trace  *emu.Trace
 	err    error
+	// The pre-decoded TraceMeta is cached alongside the trace: it is pure
+	// configuration-independent preprocessing, so every config-parallel batch
+	// of the benchmark shares one pre-decode exactly as it shares one trace.
+	metaOnce sync.Once
+	meta     *pipeline.TraceMeta
+	metaErr  error
 }
 
 func newTraceCache(progs map[string]*program.Program, pending []sweepJob) *traceCache {
@@ -69,6 +75,23 @@ func (c *traceCache) get(benchmark string) (*emu.Trace, error) {
 	}
 	e.once.Do(e.record)
 	return e.trace, e.err
+}
+
+// getMeta returns the benchmark's shared TraceMeta, pre-decoding it on first
+// use (which records the trace first if needed).
+func (c *traceCache) getMeta(benchmark string) (*pipeline.TraceMeta, error) {
+	c.mu.Lock()
+	e := c.entries[benchmark]
+	c.mu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("experiments: no trace entry for benchmark %q", benchmark)
+	}
+	e.once.Do(e.record)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.metaOnce.Do(func() { e.meta, e.metaErr = pipeline.NewTraceMeta(e.trace) })
+	return e.meta, e.metaErr
 }
 
 // release notes that one of the benchmark's jobs finished, dropping the
@@ -160,6 +183,13 @@ type Summary struct {
 	// Incomplete counts benchmarks dropped from a table/figure presentation
 	// because shard selection left them without a full configuration set.
 	Incomplete int
+	// BatchGroups and BatchedPairs count config-parallel execution as
+	// planned: groups of width > 1 and the pairs they cover. Zero when
+	// batching is disabled (Options.NoBatch / NOSQ_NO_BATCH) or every group
+	// was a singleton. They describe only how pairs were simulated, never
+	// what was measured, so they appear in no report rendering.
+	BatchGroups  int
+	BatchedPairs int
 }
 
 // CheckpointEntry is one finished job: one JSON line of a checkpoint file,
@@ -346,7 +376,12 @@ func (s *checkpointFileStore) Close() error {
 
 // runSweep is the sweep engine behind every experiment: it runs each
 // (benchmark, configuration) pair through the simulator using a worker pool,
-// generating each benchmark's program once.
+// generating each benchmark's program once. Locally executed pairs of the
+// same benchmark and window geometry run config-parallel — one batch
+// simulation over the benchmark's shared trace (see pipeline.Batch and
+// planGroups) — unless Options.NoBatch or NOSQ_NO_BATCH forces the scalar
+// path; either way every pair's measurements are bit-identical, so grouping
+// is invisible in every output.
 //
 // The job list is deterministic — benchmarks in the given order, configuration
 // keys sorted — which makes two things possible. First, sharding: with
@@ -521,51 +556,43 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 	}
 	traces := newTraceCache(progs, pending)
 
-	type result struct {
-		job sweepJob
-		run stats.Run
-		err error
+	// Partition the pending pairs into execution groups: same-benchmark,
+	// same-geometry pairs run config-parallel as one batch over the shared
+	// trace; singletons (and everything, under NoBatch) take the scalar path.
+	// Grouping affects only how pairs are simulated — results, checkpoint
+	// entries and progress events stay per-pair, so reports are byte-identical
+	// to an ungrouped run.
+	groups := planGroups(pending, opts.batchDisabled())
+	for _, g := range groups {
+		if len(g.jobs) > 1 {
+			sum.BatchGroups++
+			sum.BatchedPairs += len(g.jobs)
+		}
 	}
+
 	workers := opts.workers()
-	if workers > len(pending) {
-		workers = len(pending)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
-	jobCh := make(chan sweepJob)
-	resCh := make(chan result)
+	groupCh := make(chan sweepGroup)
+	resCh := make(chan sweepResult)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobCh {
-				run, err := func() (stats.Run, error) {
-					// Release counts finished jobs — including failed ones —
-					// so a benchmark's trace is always dropped when its last
-					// job ends.
-					defer traces.release(j.benchmark)
-					tr, err := traces.get(j.benchmark)
-					if err != nil {
-						return stats.Run{}, err
-					}
-					cfg := j.cfg
-					if opts.MaxInsts > 0 {
-						cfg.MaxInsts = opts.MaxInsts
-					}
-					sim, err := pipeline.NewFromTrace(tr, cfg)
-					if err != nil {
-						return stats.Run{}, err
-					}
-					return sim.Run()
-				}()
-				resCh <- result{job: j, run: run, err: err}
+			for g := range groupCh {
+				for _, r := range runGroup(g, traces, opts) {
+					resCh <- r
+				}
 			}
 		}()
 	}
 	go func() {
-		defer close(jobCh)
-		for _, j := range pending {
+		defer close(groupCh)
+		for _, g := range groups {
 			select {
-			case jobCh <- j:
+			case groupCh <- g:
 			case <-ctx.Done():
 				return
 			}

@@ -101,6 +101,73 @@ func TestTraceCacheRecordErrorShared(t *testing.T) {
 	}
 }
 
+// TestTraceCacheConcurrentMetaSharing drives getMeta the way concurrent
+// config-parallel batch groups of one benchmark do: every group must see the
+// same pre-decoded TraceMeta instance (built exactly once), interleaved
+// arbitrarily with plain get calls (run with -race in CI).
+func TestTraceCacheConcurrentMetaSharing(t *testing.T) {
+	prog, err := workload.Generate("gzip", workload.Options{Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 32
+	pending := make([]sweepJob, jobs)
+	for i := range pending {
+		pending[i] = sweepJob{index: i, benchmark: "gzip"}
+	}
+	c := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+
+	metas := make([]interface{}, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.release("gzip")
+			if i%2 == 0 {
+				if _, err := c.get("gzip"); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+			m, err := c.getMeta("gzip")
+			if err != nil {
+				t.Errorf("getMeta: %v", err)
+				return
+			}
+			metas[i] = m
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < jobs; i++ {
+		if metas[i] != metas[0] {
+			t.Fatalf("goroutine %d got a different TraceMeta instance", i)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) != 0 {
+		t.Errorf("cache not drained after final release")
+	}
+}
+
+// TestTraceCacheMetaPropagatesRecordError: when trace recording fails,
+// getMeta must surface that error rather than pre-decoding a nil trace.
+func TestTraceCacheMetaPropagatesRecordError(t *testing.T) {
+	recordErr := errors.New("synthetic trace-recording failure")
+	c := &traceCache{
+		entries: make(map[string]*traceEntry),
+		left:    map[string]int{"broken": 1},
+	}
+	e := &traceEntry{}
+	e.record = func() { e.err = recordErr }
+	c.entries["broken"] = e
+	if _, err := c.getMeta("broken"); !errors.Is(err, recordErr) {
+		t.Errorf("getMeta error = %v, want the recording failure", err)
+	}
+}
+
 // TestTraceCacheUnknownBenchmark: a benchmark with no entry is an error, not
 // a panic — the sweep engine treats it as a failed job.
 func TestTraceCacheUnknownBenchmark(t *testing.T) {

@@ -136,6 +136,12 @@ func Compare(baseline, current *Result, maxDropPct float64) []Regression {
 		}
 	}
 	checkSpeed("overall", baseline.OverallInstsPerSec, current.OverallInstsPerSec)
+	// Batch throughput is gated only when both results carry a batch
+	// measurement (checkSpeed skips zero values): documents recorded before
+	// the config-parallel engine existed must still gate the scalar numbers.
+	if baseline.BatchWidth == current.BatchWidth {
+		checkSpeed("batch", baseline.BatchInstsPerSec, current.BatchInstsPerSec)
+	}
 	return regs
 }
 
@@ -149,5 +155,9 @@ func Summarize(r *Result) string {
 			c.Config, c.InstsPerSec, c.NsPerCycle, c.AllocsPerKInst)
 	}
 	fmt.Fprintf(&sb, "  %-22s %12.0f insts/sec\n", "overall (geomean)", r.OverallInstsPerSec)
+	if r.BatchWidth > 0 {
+		fmt.Fprintf(&sb, "  %-22s %12.0f insts/sec  %7.2fx vs scalar\n",
+			fmt.Sprintf("batch (width %d)", r.BatchWidth), r.BatchInstsPerSec, r.BatchSpeedup)
+	}
 	return sb.String()
 }

@@ -32,7 +32,7 @@ const Schema = 1
 
 // Options configures a harness run. The zero value selects the pinned CI
 // measurement: the paper's selected benchmarks, all five configurations, a
-// 128-entry window, 120 workload iterations, best of 3 repeats.
+// 128-entry window, 120 workload iterations, best of 5 repeats.
 type Options struct {
 	// Benchmarks is the benchmark set (default: core.SelectedBenchmarks()).
 	Benchmarks []string
@@ -64,7 +64,7 @@ func (o Options) withDefaults() Options {
 		o.Iterations = 120
 	}
 	if o.Repeats <= 0 {
-		o.Repeats = 3
+		o.Repeats = 5
 	}
 	if o.Revision == "" {
 		o.Revision = "dev"
@@ -83,6 +83,27 @@ type Entry struct {
 	NsPerCycle   float64 `json:"ns_per_cycle"`
 	AllocsPerRun uint64  `json:"allocs_per_run"`
 	BytesPerRun  uint64  `json:"bytes_per_run"`
+}
+
+// BatchEntry is the measurement of one benchmark's config-parallel batch:
+// every configuration kind simulated together in one pass over the shared
+// trace (pipeline.Batch), timed as a whole.
+type BatchEntry struct {
+	Benchmark string `json:"benchmark"`
+	// Width is the number of member configurations.
+	Width int `json:"width"`
+	// Instructions is the total committed across all members.
+	Instructions uint64  `json:"instructions"`
+	WallNs       int64   `json:"wall_ns"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	BytesPerRun  uint64  `json:"bytes_per_run"`
+	// Speedup is the benchmark's fastest scalar pass over the full
+	// configuration grid (each repeat simulates every configuration once;
+	// the best total wall is kept) divided by the best batch wall: how much
+	// faster the batch simulates the same configuration set than
+	// one-at-a-time simulation.
+	Speedup float64 `json:"speedup"`
 }
 
 // ConfigSummary aggregates a configuration kind across the benchmark set.
@@ -112,6 +133,22 @@ type Result struct {
 	Configs []ConfigSummary `json:"configs"`
 	// OverallInstsPerSec is the geometric mean over every entry.
 	OverallInstsPerSec float64 `json:"overall_insts_per_sec"`
+
+	// Batch measurement (config-parallel simulation of all kinds per
+	// benchmark). The fields are additive: documents recorded before the
+	// batch engine existed carry zero values, and Compare gates batch
+	// throughput only when both results have it.
+	//
+	// BatchWidth is the number of configurations batched per benchmark
+	// (0 = batch measurement absent).
+	BatchWidth int `json:"batch_width,omitempty"`
+	// BatchEntries holds one batch measurement per benchmark.
+	BatchEntries []BatchEntry `json:"batch_entries,omitempty"`
+	// BatchInstsPerSec is the geometric-mean batch throughput.
+	BatchInstsPerSec float64 `json:"batch_insts_per_sec,omitempty"`
+	// BatchSpeedup is the geometric-mean per-benchmark speedup of the batch
+	// over one-at-a-time scalar simulation of the same configuration set.
+	BatchSpeedup float64 `json:"batch_speedup,omitempty"`
 }
 
 // Run executes the harness and returns the measurements.
@@ -144,13 +181,23 @@ func Run(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("perf: recording %s: %w", b, err)
 		}
+		// gridWalls[r] accumulates repeat r's wall time across every kind:
+		// one full scalar pass over the configuration grid, as a sweep would
+		// run it one-at-a-time. The batch speedup denominator is the fastest
+		// such pass — a wall time some scalar run actually achieved — rather
+		// than the sum of per-kind minima, which combines lucky repeats of
+		// independent runs into a composite no single pass ever ran.
+		gridWalls := make([]int64, opts.Repeats)
 		for _, k := range opts.Kinds {
 			cfg := core.ConfigFor(k, opts.Window)
-			best, err := measure(trace, cfg, k.String(), b, opts.Repeats)
+			best, walls, err := measure(trace, cfg, k.String(), b, opts.Repeats)
 			if err != nil {
 				return nil, err
 			}
 			res.Entries = append(res.Entries, best)
+			for r, w := range walls {
+				gridWalls[r] += w
+			}
 			a := byCfg[best.Config]
 			if a == nil {
 				a = &agg{}
@@ -160,6 +207,33 @@ func Run(opts Options) (*Result, error) {
 			a.nspc = append(a.nspc, best.NsPerCycle)
 			a.allocs += best.AllocsPerRun
 			a.insts += best.Instructions
+		}
+		// Config-parallel measurement: all kinds of this benchmark in one
+		// batch over the shared trace, the way the sweep engine runs them.
+		// The TraceMeta pre-decode happens outside the timed region, like
+		// trace recording: both are per-benchmark work amortised across
+		// configurations.
+		if len(opts.Kinds) > 1 {
+			meta, err := pipeline.NewTraceMeta(trace)
+			if err != nil {
+				return nil, fmt.Errorf("perf: pre-decoding %s: %w", b, err)
+			}
+			cfgs := make([]pipeline.Config, len(opts.Kinds))
+			for i, k := range opts.Kinds {
+				cfgs[i] = core.ConfigFor(k, opts.Window)
+			}
+			be, err := measureBatch(trace, meta, cfgs, b, opts.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			scalarWall := gridWalls[0]
+			for _, w := range gridWalls[1:] {
+				if w < scalarWall {
+					scalarWall = w
+				}
+			}
+			be.Speedup = float64(scalarWall) / float64(be.WallNs)
+			res.BatchEntries = append(res.BatchEntries, be)
 		}
 	}
 
@@ -178,15 +252,28 @@ func Run(opts Options) (*Result, error) {
 		all = append(all, a.ips...)
 	}
 	res.OverallInstsPerSec = geomean(all)
+	if len(res.BatchEntries) > 0 {
+		res.BatchWidth = len(opts.Kinds)
+		var ips, sp []float64
+		for _, be := range res.BatchEntries {
+			ips = append(ips, be.InstsPerSec)
+			sp = append(sp, be.Speedup)
+		}
+		res.BatchInstsPerSec = geomean(ips)
+		res.BatchSpeedup = geomean(sp)
+	}
 	return res, nil
 }
 
 // measure times Repeats simulations of one configuration over a shared
 // trace, keeping the best throughput and the lowest allocation count (the
 // steady-state floor; the first run pays one-time warm-up allocations such
-// as page-table and bucket growth).
-func measure(trace *emu.Trace, cfg pipeline.Config, kindName, benchmark string, repeats int) (Entry, error) {
+// as page-table and bucket growth). The returned walls slice carries every
+// repeat's wall time in order, so the caller can reconstruct per-repeat
+// grid passes.
+func measure(trace *emu.Trace, cfg pipeline.Config, kindName, benchmark string, repeats int) (Entry, []int64, error) {
 	var best Entry
+	walls := make([]int64, 0, repeats)
 	for r := 0; r < repeats; r++ {
 		// The MemStats window opens before simulator construction so
 		// AllocsPerRun covers the whole per-simulation cost a sweep job
@@ -195,18 +282,19 @@ func measure(trace *emu.Trace, cfg pipeline.Config, kindName, benchmark string, 
 		runtime.ReadMemStats(&m0)
 		sim, err := pipeline.NewFromTrace(trace, cfg)
 		if err != nil {
-			return Entry{}, err
+			return Entry{}, nil, err
 		}
 		start := time.Now()
 		run, err := sim.Run()
 		wall := time.Since(start)
 		runtime.ReadMemStats(&m1)
 		if err != nil {
-			return Entry{}, fmt.Errorf("perf: %s/%s: %w", benchmark, kindName, err)
+			return Entry{}, nil, fmt.Errorf("perf: %s/%s: %w", benchmark, kindName, err)
 		}
 		if wall <= 0 {
 			wall = time.Nanosecond
 		}
+		walls = append(walls, wall.Nanoseconds())
 		e := Entry{
 			Config:       kindName,
 			Benchmark:    benchmark,
@@ -215,6 +303,62 @@ func measure(trace *emu.Trace, cfg pipeline.Config, kindName, benchmark string, 
 			WallNs:       wall.Nanoseconds(),
 			InstsPerSec:  float64(run.Committed) / wall.Seconds(),
 			NsPerCycle:   float64(wall.Nanoseconds()) / float64(run.Cycles),
+			AllocsPerRun: m1.Mallocs - m0.Mallocs,
+			BytesPerRun:  m1.TotalAlloc - m0.TotalAlloc,
+		}
+		if r == 0 {
+			best = e
+			continue
+		}
+		if e.AllocsPerRun < best.AllocsPerRun {
+			best.AllocsPerRun = e.AllocsPerRun
+			best.BytesPerRun = e.BytesPerRun
+		}
+		if e.InstsPerSec > best.InstsPerSec {
+			allocs, bytes := best.AllocsPerRun, best.BytesPerRun
+			best = e
+			best.AllocsPerRun, best.BytesPerRun = allocs, bytes
+		}
+	}
+	return best, walls, nil
+}
+
+// measureBatch times Repeats config-parallel runs of one benchmark's full
+// configuration set over the shared trace and pre-decoded meta, keeping the
+// best throughput and lowest allocation count exactly like measure. Batch
+// construction is inside the MemStats window for the same reason simulator
+// construction is: it is the per-batch cost a sweep group pays.
+func measureBatch(trace *emu.Trace, meta *pipeline.TraceMeta, cfgs []pipeline.Config, benchmark string, repeats int) (BatchEntry, error) {
+	var best BatchEntry
+	for r := 0; r < repeats; r++ {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		batch, err := pipeline.NewBatchWithMeta(trace, meta, cfgs)
+		if err != nil {
+			return BatchEntry{}, fmt.Errorf("perf: batching %s: %w", benchmark, err)
+		}
+		start := time.Now()
+		runs, errs := batch.Run()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		for i, err := range errs {
+			if err != nil {
+				return BatchEntry{}, fmt.Errorf("perf: %s batch member %d: %w", benchmark, i, err)
+			}
+		}
+		if wall <= 0 {
+			wall = time.Nanosecond
+		}
+		var insts uint64
+		for _, run := range runs {
+			insts += run.Committed
+		}
+		e := BatchEntry{
+			Benchmark:    benchmark,
+			Width:        len(cfgs),
+			Instructions: insts,
+			WallNs:       wall.Nanoseconds(),
+			InstsPerSec:  float64(insts) / wall.Seconds(),
 			AllocsPerRun: m1.Mallocs - m0.Mallocs,
 			BytesPerRun:  m1.TotalAlloc - m0.TotalAlloc,
 		}

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -41,6 +42,80 @@ func TestRunProducesEntriesAndSummaries(t *testing.T) {
 	}
 	if res.OverallInstsPerSec <= 0 {
 		t.Fatalf("overall throughput = %v, want > 0", res.OverallInstsPerSec)
+	}
+}
+
+func TestRunMeasuresBatch(t *testing.T) {
+	res := tinyRun(t)
+	if res.BatchWidth != 2 {
+		t.Fatalf("BatchWidth = %d, want 2", res.BatchWidth)
+	}
+	if len(res.BatchEntries) != 1 {
+		t.Fatalf("batch entries = %d, want 1 (one per benchmark)", len(res.BatchEntries))
+	}
+	be := res.BatchEntries[0]
+	if be.Width != 2 || be.Instructions == 0 || be.InstsPerSec <= 0 || be.Speedup <= 0 {
+		t.Errorf("batch entry = %+v, want a populated width-2 measurement", be)
+	}
+	if res.BatchInstsPerSec <= 0 || res.BatchSpeedup <= 0 {
+		t.Errorf("batch summary: insts/sec %v, speedup %v, want > 0", res.BatchInstsPerSec, res.BatchSpeedup)
+	}
+	// A single-kind run has nothing to batch.
+	solo, err := Run(Options{Benchmarks: []string{"gzip"}, Kinds: []core.ConfigKind{core.Baseline},
+		Iterations: 20, Repeats: 1, Revision: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.BatchWidth != 0 || len(solo.BatchEntries) != 0 {
+		t.Errorf("single-kind run recorded a batch measurement: %+v", solo.BatchEntries)
+	}
+}
+
+func TestCompareGatesBatchOnlyWhenBothHaveIt(t *testing.T) {
+	base := &Result{Schema: Schema, OverallInstsPerSec: 1000,
+		BatchWidth: 5, BatchInstsPerSec: 5000}
+	cur := &Result{Schema: Schema, OverallInstsPerSec: 1000,
+		BatchWidth: 5, BatchInstsPerSec: 3000}
+	regs := Compare(base, cur, 20)
+	if len(regs) != 1 || regs[0].Config != "batch" {
+		t.Fatalf("regressions = %v, want exactly the batch throughput drop", regs)
+	}
+	// A baseline recorded before the batch engine existed carries no batch
+	// numbers; the current result's must not be gated against zero.
+	old := &Result{Schema: Schema, OverallInstsPerSec: 1000}
+	if regs := Compare(old, cur, 20); len(regs) != 0 {
+		t.Fatalf("batchless baseline produced regressions: %v", regs)
+	}
+	// And a differing width makes the numbers incomparable.
+	narrow := &Result{Schema: Schema, OverallInstsPerSec: 1000,
+		BatchWidth: 2, BatchInstsPerSec: 9000}
+	if regs := Compare(narrow, cur, 20); len(regs) != 0 {
+		t.Fatalf("width-mismatched batch gated: %v", regs)
+	}
+}
+
+func TestMarkdownSummaryDeltasAndImprovementFlag(t *testing.T) {
+	base := &Result{Schema: Schema, Revision: "base",
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 1000, AllocsPerKInst: 10}},
+		OverallInstsPerSec: 1000, BatchWidth: 5, BatchInstsPerSec: 4000, BatchSpeedup: 1.3}
+	cur := &Result{Schema: Schema, Revision: "cur",
+		Configs:            []ConfigSummary{{Config: "a", InstsPerSec: 1500, AllocsPerKInst: 10}},
+		OverallInstsPerSec: 1500, BatchWidth: 5, BatchInstsPerSec: 6000, BatchSpeedup: 1.6}
+	md := MarkdownSummary(base, cur, 20)
+	for _, want := range []string{"| a | 1500 | +50.0% |", "batch (width 5)", "1.60x vs scalar",
+		"BENCH_baseline.json", "a, overall, batch"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+	// Within-threshold changes carry no baseline-refresh reminder.
+	if md := MarkdownSummary(base, base, 20); strings.Contains(md, "Refresh") {
+		t.Errorf("no-change summary still asks for a baseline refresh:\n%s", md)
+	}
+	// No baseline: rows render with dashes, nothing is flagged.
+	md = MarkdownSummary(nil, cur, 20)
+	if !strings.Contains(md, "—") || strings.Contains(md, "Refresh") {
+		t.Errorf("baseline-less summary malformed:\n%s", md)
 	}
 }
 

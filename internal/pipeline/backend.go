@@ -99,7 +99,9 @@ func (s *Simulator) retire() {
 		s.histAfterRetired = in.histAfter
 		s.committed++
 		s.res.Committed++
-		s.stream.Release(in.seq)
+		if s.cursor == nil {
+			s.stream.Release(in.seq) // trace cursors: Release is a no-op
+		}
 
 		flush := false
 		switch {

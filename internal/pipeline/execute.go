@@ -46,11 +46,10 @@ func (s *Simulator) ready(in *inflight) bool {
 			return false
 		}
 		// Scheduling gate: wait for a specific older store to execute
-		// (StoreSets / perfect scheduling).
-		if in.waitExecSeq != 0 {
-			if dep := s.find(in.waitExecSeq); dep != nil && !dep.completed {
-				return false
-			}
+		// (StoreSets / perfect scheduling). The store has executed once it
+		// completes or leaves the window — exactly producerDone's answer.
+		if in.waitExecSeq != 0 && !s.producerDone(in.waitExecSeq) {
+			return false
 		}
 		// Delay gate / partial-word stall: wait for a store to reach the
 		// data cache.
@@ -172,6 +171,7 @@ func (s *Simulator) complete() {
 				continue // the occupant was squashed; the event is stale
 			}
 			in.completed = true
+			s.markCompleted(in)
 			st := in.dyn.Static
 			switch {
 			case in.isStore():
@@ -191,6 +191,7 @@ func (s *Simulator) complete() {
 					}
 				}
 			}
+			s.wakeConsumers(in)
 		}
 		*bucket = events[:0]
 	}
@@ -202,9 +203,11 @@ func (s *Simulator) complete() {
 	for _, in := range s.pendingStores {
 		if s.producerDone(in.srcSeqs[0]) && s.producerDone(in.srcSeqs[1]) {
 			in.completed = true
+			s.markCompleted(in)
 			in.completeCycle = s.now
 			in.storeExecuted = true
 			s.ss.StoreCompleted(in.dyn.Static.PC, in.ssn)
+			s.wakeConsumers(in)
 			continue
 		}
 		kept = append(kept, in)

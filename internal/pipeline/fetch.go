@@ -27,7 +27,13 @@ func (s *Simulator) fetch() {
 		if s.window.len() >= maxInFlight {
 			return
 		}
-		d, err := s.stream.Get(s.fetchSeq)
+		var d *emu.DynInst
+		var err error
+		if s.cursor != nil {
+			d, err = s.cursor.Get(s.fetchSeq)
+		} else {
+			d, err = s.stream.Get(s.fetchSeq)
+		}
 		if err != nil {
 			if errors.Is(err, emu.ErrEndOfStream) {
 				s.streamEnded = true
@@ -50,9 +56,19 @@ func (s *Simulator) fetch() {
 		in := s.newInflight()
 		in.dyn = d
 		in.seq = d.Seq
-		in.port = classify(d.Static)
 		in.fetchCycle = s.now
 		in.renameReady = s.now + uint64(s.cfg.FrontEndDepth)
+		if s.meta != nil {
+			// Batch mode: the port class was pre-decoded once for the whole
+			// trace (the same value classify computes below).
+			in.port = portClass(s.meta.class[d.Seq-1])
+		} else {
+			in.port = classify(d.Static)
+		}
+		if s.fast {
+			// The new occupant reuses a window slot; reset its completed bit.
+			s.clearCompletedBit(d.Seq)
+		}
 		in.histAtDec = s.pathHist.Value()
 
 		st := d.Static

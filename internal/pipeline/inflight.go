@@ -122,7 +122,21 @@ type inflight struct {
 	gen    uint64
 	prevIQ *inflight
 	nextIQ *inflight
+
+	// Event-driven scheduler state (batch mode only; see sched.go). wake
+	// lists the issue-queue occupants to re-evaluate when this instruction
+	// completes; inReadyQ/inMSGate guard against duplicate membership in the
+	// scheduler's ready queue and multi-source poll list; msFlip marks loads
+	// whose readiness can be revoked (the associative multi-source hold) and
+	// so must be re-verified at selection.
+	wake     []schedRef
+	inReadyQ bool
+	inMSGate bool
+	msFlip   bool
 }
 
-func (in *inflight) isLoad() bool  { return in.dyn.IsLoad() }
-func (in *inflight) isStore() bool { return in.dyn.IsStore() }
+// isLoad/isStore test the cached port class: classify maps OpLoad and
+// OpStore (and only those) to portLoad/portStore, so the port carries the
+// same information as re-deriving the opcode through dyn.Static.
+func (in *inflight) isLoad() bool  { return in.port == portLoad }
+func (in *inflight) isStore() bool { return in.port == portStore }

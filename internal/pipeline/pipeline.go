@@ -29,6 +29,10 @@ type instSource interface {
 type Simulator struct {
 	cfg    Config
 	stream instSource
+	// cursor is stream's concrete type when replaying a recorded trace,
+	// letting the per-instruction Get calls inline and the no-op Release
+	// calls disappear instead of going through the interface.
+	cursor *emu.TraceCursor
 
 	// Hardware structures.
 	bp    *bpred.Predictor
@@ -99,6 +103,19 @@ type Simulator struct {
 	ssnInDCache     uint64
 	pendingDCWrites []pendingWrite
 
+	// Config-parallel fast path (batch.go / sched.go). fast enables the
+	// event-driven issue scheduler; meta, when non-nil, supplies pre-decoded
+	// per-instruction front-end metadata shared across the batch. Both are
+	// off on the scalar path, which stays the bit-identity reference.
+	fast       bool
+	meta       *TraceMeta
+	readyBits  []uint64 // ready bitmap, indexed by seq & seqMask
+	complBits  []uint64 // completed bitmap for window occupants, same indexing
+	seqMask    uint64   // window-ring capacity minus one (power of two)
+	readyCount int      // number of set bits in readyBits
+	msGate     []schedRef
+	ssnWaiters []ssnWaiter
+
 	res       stats.Run
 	committed uint64
 	halted    bool
@@ -144,6 +161,7 @@ func newSimulator(src instSource, benchmark string, cfg Config) (*Simulator, err
 		dtlb:     cache.NewTLB("dtlb", cfg.DTLBEntries, cfg.TLBAssoc),
 		fetchSeq: 1,
 	}
+	s.cursor, _ = src.(*emu.TraceCursor)
 	maxInFlight := cfg.ROBSize + 4*cfg.FetchWidth
 	s.window = newRing(maxInFlight)
 	s.backendQ = newRing(maxInFlight)
@@ -189,8 +207,12 @@ func (s *Simulator) scheduleCompletion(in *inflight) {
 }
 
 // iqPush appends an instruction to the issue-queue list (rename is in order,
-// so the list stays seq-sorted).
+// so the list stays seq-sorted). The list exists only for the scalar issue
+// scan; in batch mode the event-driven scheduler tracks occupants itself.
 func (s *Simulator) iqPush(in *inflight) {
+	if s.fast {
+		return
+	}
 	in.prevIQ = s.iqTail
 	in.nextIQ = nil
 	if s.iqTail != nil {
@@ -204,6 +226,9 @@ func (s *Simulator) iqPush(in *inflight) {
 // iqRemove unlinks an instruction from the issue-queue list (at issue or
 // squash).
 func (s *Simulator) iqRemove(in *inflight) {
+	if s.fast {
+		return
+	}
 	if in.prevIQ != nil {
 		in.prevIQ.nextIQ = in.nextIQ
 	} else {
@@ -236,8 +261,10 @@ func (s *Simulator) newInflight() *inflight {
 // recognisably stale.
 func (s *Simulator) recycle(in *inflight) {
 	gen := in.gen
+	wake := in.wake[:0] // keep the wakeup list's capacity across reuse
 	*in = inflight{}
 	in.gen = gen + 1
+	in.wake = wake
 	s.pool = append(s.pool, in)
 }
 
@@ -285,7 +312,11 @@ func (s *Simulator) step() {
 	s.retire()
 	s.commitEnter()
 	s.complete()
-	s.issue()
+	if s.fast {
+		s.issueFast()
+	} else {
+		s.issue()
+	}
 	s.rename()
 	s.fetch()
 	s.now++
@@ -325,6 +356,17 @@ func (s *Simulator) find(seq uint64) *inflight {
 func (s *Simulator) producerDone(seq uint64) bool {
 	if seq == 0 {
 		return true
+	}
+	if s.fast {
+		// Batch mode: the completed bitmap answers in one load. Consumers only
+		// ask about producers older than themselves, so seq is either already
+		// retired (older than the window) or a window occupant whose slot bit
+		// is authoritative.
+		if s.window.len() == 0 || seq < s.window.front().seq {
+			return true
+		}
+		idx := seq & s.seqMask
+		return s.complBits[idx>>6]&(1<<(idx&63)) != 0
 	}
 	in := s.find(seq)
 	if in == nil {
@@ -449,6 +491,7 @@ func (s *Simulator) squash(afterSeq uint64, resumeCycle uint64) {
 
 // releaseResources frees everything an in-flight instruction holds.
 func (s *Simulator) releaseResources(in *inflight) {
+	s.clearReady(in) // no-op unless the record is in the ready bitmap
 	if in.holdsPhysReg {
 		s.physRegsUsed--
 		in.holdsPhysReg = false

@@ -186,6 +186,7 @@ func (s *Simulator) renameOne(in *inflight) bool {
 			// marked complete at rename and simply wait to commit.
 			in.completed = true
 			in.completeCycle = s.now
+			s.markCompleted(in)
 		}
 
 	case in.isLoad():
@@ -202,6 +203,7 @@ func (s *Simulator) renameOne(in *inflight) bool {
 			// value from the DEF via map-table short-circuiting.
 			in.completed = true
 			in.completeCycle = s.now
+			s.markCompleted(in)
 		}
 	}
 
@@ -214,6 +216,13 @@ func (s *Simulator) renameOne(in *inflight) bool {
 		} else {
 			s.ratProducer[st.Dst] = in.seq
 		}
+	}
+
+	// Batch mode: hand the new issue-queue occupant to the event-driven
+	// scheduler (ready instructions enter the ready queue, blocked ones
+	// register wakeups on their blocking conditions).
+	if s.fast && in.holdsIQ {
+		s.schedDispatch(in)
 	}
 	return true
 }
