@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -64,8 +65,14 @@ func main() {
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the paper's selected benchmarks)")
 		configs  = flag.String("configs", "", "comma-separated configuration kinds (default: all five)")
 		summary  = flag.String("summary", "", "append a Markdown comparison table to this file (CI points it at $GITHUB_STEP_SUMMARY)")
+		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosq-bench")
+		return
+	}
 
 	if err := validateFlags(*maxDrop); err != nil {
 		fmt.Fprintln(os.Stderr, err)

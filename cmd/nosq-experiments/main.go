@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -59,8 +60,14 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
 		scenario   = flag.String("scenario", "", "workload scenario spec file (JSON) to run through the scenario experiment")
 		noBatch    = flag.Bool("no-batch", false, "disable config-parallel batch simulation (results are identical either way; NOSQ_NO_BATCH=1 has the same effect)")
+		version    = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosq-experiments")
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -6,6 +6,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simapi"
 	"repro/internal/simclient"
 )
@@ -31,8 +34,18 @@ func TestServerIntegration(t *testing.T) {
 		t.Fatalf("building nosq-server: %v\n%s", err, out)
 	}
 
+	// -version must answer without starting a server.
+	ver, err := exec.Command(bin, "-version").Output()
+	if err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+	if !strings.HasPrefix(string(ver), "nosq-server revision ") {
+		t.Fatalf("-version output %q", ver)
+	}
+
 	cachePath := filepath.Join(dir, "cache.jsonl")
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", cachePath, "-workers", "1")
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache", cachePath, "-workers", "1",
+		"-pprof-addr", "127.0.0.1:0")
 	var stderr bytes.Buffer
 	srv.Stderr = &stderr
 	stdout, err := srv.StdoutPipe()
@@ -54,17 +67,26 @@ func TestServerIntegration(t *testing.T) {
 		}
 	}()
 
-	// The first stdout line announces the resolved address of port 0.
+	// Stdout announces the resolved pprof address first, then the API
+	// listener (both were :0).
 	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		t.Fatalf("no listen line on stdout; stderr:\n%s", stderr.String())
+	var baseURL, pprofURL string
+	for (baseURL == "" || pprofURL == "") && sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			t.Fatalf("unexpected stdout line %q", line)
+		}
+		url := strings.TrimSpace(line[i:])
+		if strings.Contains(line, "pprof") {
+			pprofURL = strings.TrimSuffix(url, "/debug/pprof/")
+		} else {
+			baseURL = url
+		}
 	}
-	line := sc.Text()
-	i := strings.Index(line, "http://")
-	if i < 0 {
-		t.Fatalf("unexpected listen line %q", line)
+	if baseURL == "" || pprofURL == "" {
+		t.Fatalf("missing listen lines (api %q, pprof %q); stderr:\n%s", baseURL, pprofURL, stderr.String())
 	}
-	baseURL := strings.TrimSpace(line[i:])
 	c := simclient.New(baseURL, nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -123,6 +145,59 @@ func TestServerIntegration(t *testing.T) {
 	}
 	if !bytes.Equal(firstCSV, secondCSV) {
 		t.Error("cache-served report differs from the executed run")
+	}
+
+	// /metricsz speaks both formats against the real binary: the JSON
+	// document the typed client already consumed above, and a Prometheus
+	// exposition that passes the conformance linter with the expected
+	// histogram families present.
+	get := func(url string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	if body, ct := get(baseURL + "/metricsz"); ct != "application/json" || !strings.Contains(body, `"jobs_done"`) {
+		t.Errorf("JSON metrics: Content-Type %q, body %.120q", ct, body)
+	}
+	promBody, promCT := get(baseURL + "/metricsz?format=prometheus")
+	if !strings.HasPrefix(promCT, "text/plain; version=0.0.4") {
+		t.Errorf("prometheus Content-Type = %q", promCT)
+	}
+	if err := obs.LintExposition(strings.NewReader(promBody)); err != nil {
+		t.Errorf("prometheus exposition fails conformance: %v", err)
+	}
+	for _, name := range []string{
+		"nosq_job_queue_wait_seconds", "nosq_pair_sim_seconds", "nosq_cache_lookup_seconds",
+		"nosq_wal_append_seconds", "nosq_lease_renewal_seconds", "nosq_http_request_seconds",
+	} {
+		if !strings.Contains(promBody, "# TYPE "+name+" histogram") {
+			t.Errorf("exposition missing histogram %s", name)
+		}
+	}
+
+	// The pprof smoke test: the opted-in debug listener serves a heap
+	// profile, and the API port does NOT expose /debug/pprof/.
+	if body, _ := get(pprofURL + "/debug/pprof/heap?debug=1"); !strings.Contains(body, "heap profile") {
+		t.Errorf("pprof heap profile unexpected body: %.120q", body)
+	}
+	if resp, err := http.Get(baseURL + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Error("API port serves /debug/pprof/; profiling must stay on its own listener")
+		}
 	}
 
 	// Graceful shutdown: SIGTERM, clean exit, cache file persisted.

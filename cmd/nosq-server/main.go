@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simserver"
 )
 
@@ -88,10 +89,26 @@ func main() {
 		quotaRate   = flag.Float64("quota-rate", 0, "per-client submission rate limit in jobs/second (0 = unlimited)")
 		quotaBurst  = flag.Int("quota-burst", 10, "per-client submission burst capacity used with -quota-rate")
 		quiet       = flag.Bool("quiet", false, "suppress per-job log lines")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; default: disabled)")
+		version     = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosq-server")
+		return
+	}
+
 	logger := log.New(os.Stderr, "nosq-server: ", log.LstdFlags)
+	if *pprofAddr != "" {
+		pln, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		// Resolved address on stdout, like the API listener below, so scripts
+		// can parse the port picked for :0.
+		fmt.Printf("nosq-server pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 	if err := validateFlags(*workers, *parallel, *leaseTTL, *pollIvl,
 		*maxQueued, *quotaActive, *quotaRate, *quotaBurst); err != nil {
 		logger.Print(err)

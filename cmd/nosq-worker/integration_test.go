@@ -191,6 +191,14 @@ func TestDistributedIntegration(t *testing.T) {
 			t.Fatalf("building %s: %v\n%s", pkg, err, out)
 		}
 	}
+
+	// -version must answer without contacting any coordinator.
+	if ver, err := exec.Command(workerBin, "-version").Output(); err != nil {
+		t.Fatalf("-version: %v", err)
+	} else if !strings.HasPrefix(string(ver), "nosq-worker revision ") {
+		t.Fatalf("-version output %q", ver)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	spec := simapi.JobSpec{Experiment: "fig2", Benchmarks: []string{"gzip", "applu"}, Iterations: 40}

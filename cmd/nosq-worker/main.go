@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simworker"
 )
 
@@ -51,10 +52,24 @@ func main() {
 		poll     = flag.Duration("poll-interval", 500*time.Millisecond, "idle lease-polling interval (coordinator hint may lower it)")
 		delay    = flag.Duration("pair-delay", 0, "sleep after each finished pair, throttling a shared machine")
 		quiet    = flag.Bool("quiet", false, "suppress per-task log lines")
+		pprof    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; default: disabled)")
+		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosq-worker")
+		return
+	}
+
 	logger := log.New(os.Stderr, "nosq-worker: ", log.LstdFlags)
+	if *pprof != "" {
+		pln, err := obs.StartPprof(*pprof)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("nosq-worker pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 	if *server == "" {
 		logger.Print("-server is required")
 		flag.Usage()

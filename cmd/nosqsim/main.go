@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -42,8 +43,14 @@ func main() {
 		out      = flag.String("out", "", "write output to this file (default: stdout)")
 		list     = flag.Bool("list", false, "list benchmarks and configurations, then exit")
 		noBatch  = flag.Bool("no-batch", false, "disable config-parallel batch simulation (results are identical either way; NOSQ_NO_BATCH=1 has the same effect)")
+		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosqsim")
+		return
+	}
 
 	// Reject a bad -format before simulating — the run's output would be lost.
 	if err := stats.ValidateFormat(*format); err != nil {

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -244,6 +245,18 @@ type ProgressSink interface {
 	Planned(total, resumed, skippedShard, pending int)
 	// PairDone reports one executed pair as its checkpoint entry.
 	PairDone(CheckpointEntry)
+}
+
+// PairTimer is an optional extension of ProgressSink: a sink that also
+// implements it receives each locally executed pair's wall-clock simulation
+// time. Config-parallel batching makes exact per-pair time unobservable —
+// members of one batch simulate interleaved — so the engine times the whole
+// execution group and attributes an equal share to each member; scalar
+// singletons get their true time. Implementations may be called concurrently
+// from worker goroutines and should be quick. The interface is type-asserted
+// at runtime, so existing ProgressSink implementations keep working unchanged.
+type PairTimer interface {
+	PairTimed(benchmark, config string, wall time.Duration)
 }
 
 // LoadCheckpointEntries reads a JSONL checkpoint file. A missing file is an
@@ -576,13 +589,22 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 	}
 	groupCh := make(chan sweepGroup)
 	resCh := make(chan sweepResult)
+	timer, _ := opts.Progress.(PairTimer)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range groupCh {
-				for _, r := range runGroup(g, traces, opts) {
+				start := time.Now()
+				results := runGroup(g, traces, opts)
+				// One batch simulates its members interleaved, so per-pair
+				// wall time is the group's time split evenly.
+				per := time.Since(start) / time.Duration(len(results))
+				for _, r := range results {
+					if timer != nil && r.err == nil {
+						timer.PairTimed(r.job.benchmark, r.job.key, per)
+					}
 					resCh <- r
 				}
 			}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+)
+
+// CodeRevision returns the VCS revision the binary was built from, or "dev"
+// when none is recorded (go test, go run from a non-VCS tree). A dirty tree
+// gets a "-dirty" suffix: it is a different build than the clean commit and
+// must not be conflated with it — the result cache and scrape labels both
+// key on this value.
+func CodeRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				return rev + "-dirty"
+			}
+			return rev
+		}
+	}
+	return "dev"
+}
+
+// Build identifies one binary build: the code revision and the Go toolchain
+// that compiled it. It is reported by /healthz and by each binary's -version
+// flag so scrapes and logs can be labeled by revision.
+type Build struct {
+	CodeRev   string `json:"code_rev"`
+	GoVersion string `json:"go_version"`
+}
+
+// BuildInfo returns the current binary's build identity.
+func BuildInfo() Build {
+	return Build{CodeRev: CodeRevision(), GoVersion: runtime.Version()}
+}
+
+// PrintVersion writes the standard -version output for a binary.
+func PrintVersion(w io.Writer, name string) {
+	b := BuildInfo()
+	fmt.Fprintf(w, "%s revision %s (%s)\n", name, b.CodeRev, b.GoVersion)
+}
+
+// StartPprof serves net/http/pprof on its own listener at addr and returns
+// the listener (so :0 resolves to a real port the caller can log). Profiling
+// is opt-in and isolated from the API mux on purpose: the debug surface is
+// never reachable through the service port, only on the address the operator
+// explicitly opened. The returned listener's server runs until the listener
+// is closed; serve errors after close are discarded.
+func StartPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text-exposition document and reports the
+// first conformance violation it finds, or nil if the document is clean. It
+// enforces the subset of the format this service relies on:
+//
+//   - every sample line belongs to a family announced by matching # HELP and
+//     # TYPE lines that precede it;
+//   - no metric family is announced twice;
+//   - sample names match the announced family (histograms may append
+//     _bucket/_sum/_count);
+//   - label syntax is valid, label values use only legal escapes, and no
+//     label name repeats within one series;
+//   - no series (name plus label set) appears twice;
+//   - histogram buckets are cumulative (counts monotonically non-decreasing
+//     in le order), end with le="+Inf", and the +Inf count equals _count.
+//
+// It is used by the package tests, the server's exposition tests, and CI's
+// conformance check against a live binary (via internal/obs/promlint).
+func LintExposition(r io.Reader) error {
+	l := &linter{
+		types:  make(map[string]string),
+		helped: make(map[string]bool),
+		series: make(map[string]bool),
+		hist:   make(map[string]*histCheck),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		if err := l.line(strings.TrimRight(sc.Text(), "\r")); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("empty exposition document")
+	}
+	return l.finish()
+}
+
+type histCheck struct {
+	name    string
+	prev    float64 // previous cumulative bucket count
+	prevLe  float64 // previous le bound
+	infSeen bool
+	infVal  float64
+	count   float64
+	hasCnt  bool
+	labels  string // non-le label part, to keep series separate
+}
+
+type linter struct {
+	types  map[string]string
+	helped map[string]bool
+	series map[string]bool
+	hist   map[string]*histCheck // keyed by family + non-le labels
+	cur    string                // family currently being emitted
+}
+
+func (l *linter) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return l.comment(s)
+	}
+	return l.sample(s)
+}
+
+func (l *linter) comment(s string) error {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", s)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if l.helped[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		l.helped[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", s)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if _, dup := l.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		switch typ {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", typ, name)
+		}
+		if !l.helped[name] {
+			return fmt.Errorf("TYPE for %q without preceding HELP", name)
+		}
+		l.types[name] = typ
+		l.cur = name
+	}
+	return nil
+}
+
+func (l *linter) sample(s string) error {
+	name, labels, valueStr, err := splitSample(s)
+	if err != nil {
+		return err
+	}
+	fam, suffix := l.family(name)
+	if fam == "" {
+		return fmt.Errorf("sample %q has no announced # TYPE", name)
+	}
+	if fam != l.cur {
+		return fmt.Errorf("sample for %q appears outside its family block (current family %q)", fam, l.cur)
+	}
+	val, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return fmt.Errorf("sample %q: bad value %q", name, valueStr)
+	}
+
+	seen := make(map[string]bool, len(labels))
+	var le string
+	var rest []string
+	for _, lab := range labels {
+		if !validLabelName(lab.Name) {
+			return fmt.Errorf("sample %q: invalid label name %q", name, lab.Name)
+		}
+		if seen[lab.Name] {
+			return fmt.Errorf("sample %q: duplicate label %q", name, lab.Name)
+		}
+		seen[lab.Name] = true
+		if lab.Name == "le" && suffix == "_bucket" {
+			le = lab.Value
+			continue
+		}
+		rest = append(rest, lab.Name+"="+lab.Value)
+	}
+	sort.Strings(rest)
+	key := name + "{" + strings.Join(rest, ",") + ",le=" + le + "}"
+	if l.series[key] {
+		return fmt.Errorf("duplicate series %q", key)
+	}
+	l.series[key] = true
+
+	if l.types[fam] == typeHistogram {
+		return l.histSample(fam, suffix, strings.Join(rest, ","), le, val)
+	}
+	if suffix != "" {
+		return fmt.Errorf("sample %q: suffix %q on non-histogram family %q", name, suffix, fam)
+	}
+	return nil
+}
+
+func (l *linter) histSample(fam, suffix, labels, le string, val float64) error {
+	key := fam + "{" + labels + "}"
+	h := l.hist[key]
+	if h == nil {
+		h = &histCheck{name: fam, prevLe: -1e308, labels: labels}
+		l.hist[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			return fmt.Errorf("histogram %q bucket without le label", fam)
+		}
+		var bound float64
+		if le == "+Inf" {
+			bound = 1e308
+			h.infSeen = true
+			h.infVal = val
+		} else {
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le %q", fam, le)
+			}
+			bound = b
+		}
+		if bound <= h.prevLe {
+			return fmt.Errorf("histogram %q: le bounds not increasing (%q after %v)", fam, le, h.prevLe)
+		}
+		if val < h.prev {
+			return fmt.Errorf("histogram %q: bucket counts not cumulative (%v after %v at le=%q)", fam, val, h.prev, le)
+		}
+		h.prevLe = bound
+		h.prev = val
+	case "_sum":
+	case "_count":
+		h.count = val
+		h.hasCnt = true
+	case "":
+		return fmt.Errorf("histogram %q: bare sample without _bucket/_sum/_count suffix", fam)
+	default:
+		return fmt.Errorf("histogram %q: unexpected suffix %q", fam, suffix)
+	}
+	return nil
+}
+
+func (l *linter) finish() error {
+	for _, h := range l.hist {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %q{%s}: missing le=\"+Inf\" bucket", h.name, h.labels)
+		}
+		if !h.hasCnt {
+			return fmt.Errorf("histogram %q{%s}: missing _count sample", h.name, h.labels)
+		}
+		if h.infVal != h.count {
+			return fmt.Errorf("histogram %q{%s}: +Inf bucket %v != _count %v", h.name, h.labels, h.infVal, h.count)
+		}
+	}
+	return nil
+}
+
+// family resolves a sample name to its announced family, peeling histogram
+// suffixes only when the base name was announced as a histogram.
+func (l *linter) family(name string) (fam, suffix string) {
+	if _, ok := l.types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := l.types[base]; ok && t == typeHistogram {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// splitSample parses `name{label="value",...} value` into its parts,
+// validating label escaping along the way.
+func splitSample(s string) (name string, labels []Label, value string, err error) {
+	brace := strings.IndexByte(s, '{')
+	if brace < 0 {
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("malformed sample line %q", s)
+		}
+		if !validMetricName(fields[0]) {
+			return "", nil, "", fmt.Errorf("invalid metric name %q", fields[0])
+		}
+		return fields[0], nil, fields[1], nil
+	}
+	name = s[:brace]
+	if !validMetricName(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := s[brace+1:]
+	for {
+		rest = strings.TrimLeft(rest, " ,")
+		if strings.HasPrefix(rest, "}") {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("malformed labels in %q", s)
+		}
+		lname := rest[:eq]
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", nil, "", fmt.Errorf("unquoted label value in %q", s)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return "", nil, "", fmt.Errorf("dangling escape in %q", s)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", nil, "", fmt.Errorf("invalid escape \\%c in %q", rest[i+1], s)
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				closed = true
+				rest = rest[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", nil, "", fmt.Errorf("unterminated label value in %q", s)
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", nil, "", fmt.Errorf("missing value in %q", s)
+	}
+	// A timestamp may follow the value; keep only the value.
+	if i := strings.IndexByte(value, ' '); i >= 0 {
+		value = value[:i]
+	}
+	return name, labels, value, nil
+}

@@ -1,0 +1,22 @@
+// Command promlint reads a Prometheus text-exposition document on stdin and
+// exits non-zero with a diagnostic if it violates the conformance rules in
+// obs.LintExposition. CI pipes a live server's /metricsz?format=prometheus
+// response through it:
+//
+//	curl -fsS "http://$addr/metricsz?format=prometheus" | go run ./internal/obs/promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := obs.LintExposition(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition OK")
+}

@@ -132,6 +132,11 @@ const (
 	// EventPair reports one executed (benchmark, configuration) pair as its
 	// result lands (Event.Entry — the same record the checkpoint file gets).
 	EventPair = "pair"
+	// EventSpan reports one completed timing span of the job's lifecycle
+	// (Event.Span): queue wait, per-shard execution, distributed merge, the
+	// run itself, and the end-to-end total. Span events land before the
+	// terminal state event, so a streaming client always sees them.
+	EventSpan = "span"
 )
 
 // Event is one record of a job's progress feed, streamed as JSON lines (or
@@ -150,6 +155,21 @@ type Event struct {
 	// Entry carries the finished pair of an EventPair event, reusing the
 	// sweep engine's checkpoint entry format.
 	Entry *experiments.CheckpointEntry `json:"entry,omitempty"`
+	// Span carries the timing record of an EventSpan event.
+	Span *SpanInfo `json:"span,omitempty"`
+}
+
+// SpanInfo is the payload of an EventSpan event: one named phase of the
+// job's lifecycle with its wall-clock timing. Well-known names: "queued"
+// (submission → execution start), "shard[i]" (shard task i's first lease →
+// full delivery, distributed jobs only), "merged" (distribution start → all
+// shards delivered), "run" (execution start → finish), and "total"
+// (submission → finish).
+type SpanInfo struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurationMillis is the phase's duration in milliseconds (fractional).
+	DurationMillis float64 `json:"duration_ms"`
 }
 
 // PlannedInfo is the pair accounting of an EventPlanned event.
@@ -222,6 +242,16 @@ type Health struct {
 	Status      string   `json:"status"`
 	CodeRev     string   `json:"code_rev"`
 	Experiments []string `json:"experiments"`
+	// Build identifies the serving binary so scrapes and fleet rollouts can
+	// label by revision.
+	Build BuildInfo `json:"build"`
+}
+
+// BuildInfo is the build section of the /healthz document: the VCS revision
+// the binary was built from and the Go toolchain that compiled it.
+type BuildInfo struct {
+	CodeRev   string `json:"code_rev"`
+	GoVersion string `json:"go_version"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.

@@ -256,9 +256,17 @@ func (c *Client) TaskProgress(ctx context.Context, taskID, workerID string, entr
 // (the coordinator deduplicates against earlier progress posts). A
 // non-empty errMsg reports a simulation failure, failing the job.
 func (c *Client) CompleteTask(ctx context.Context, taskID, workerID string, entries []experiments.CheckpointEntry, errMsg string) (simwire.CompleteResponse, error) {
+	return c.CompleteTaskTimed(ctx, taskID, workerID, entries, errMsg, 0)
+}
+
+// CompleteTaskTimed is CompleteTask carrying the worker-measured wall-clock
+// time of the whole task (0 = unmeasured), which the coordinator folds into
+// its pair latency accounting.
+func (c *Client) CompleteTaskTimed(ctx context.Context, taskID, workerID string, entries []experiments.CheckpointEntry, errMsg string, wall time.Duration) (simwire.CompleteResponse, error) {
 	var resp simwire.CompleteResponse
 	err := c.do(ctx, http.MethodPost, "/api/v1/worker/tasks/"+url.PathEscape(taskID)+"/complete",
-		simwire.CompleteRequest{WorkerID: workerID, Entries: entries, Error: errMsg}, &resp)
+		simwire.CompleteRequest{WorkerID: workerID, Entries: entries, Error: errMsg,
+			WallMillis: wall.Milliseconds()}, &resp)
 	return resp, err
 }
 
@@ -334,7 +342,51 @@ func (c *Client) StreamEvents(ctx context.Context, id string, from int, fn func(
 // ends. Only the server's own verdicts end it early — an APIError such as a
 // 404 for a job the restarted server does not know.
 func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
+	info, _, err := c.WaitTimings(ctx, id)
+	return info, err
+}
+
+// TimingSummary is the job timing breakdown assembled from the span events
+// of a job's progress feed (simapi.EventSpan): queue wait, per-shard
+// execution, distributed merge, the run itself, and the end-to-end total.
+// Empty when the stream broke before the spans arrived (Wait's poll fallback
+// cannot recover them).
+type TimingSummary struct {
+	Spans []simapi.SpanInfo
+}
+
+// String renders the breakdown as one line per span, e.g.
+//
+//	queued    12ms
+//	run      3.41s
+//	total    3.42s
+func (t TimingSummary) String() string {
+	if len(t.Spans) == 0 {
+		return "(no timing spans recorded)"
+	}
+	var b bytes.Buffer
+	width := 0
+	for _, s := range t.Spans {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range t.Spans {
+		d := time.Duration(s.DurationMillis * float64(time.Millisecond))
+		fmt.Fprintf(&b, "%-*s %10v\n", width, s.Name, d.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// WaitTimings is Wait, additionally collecting the job's span events into a
+// timing breakdown. The summary is best-effort: a stream that breaks and
+// falls back to polling returns whatever spans arrived before the break.
+func (c *Client) WaitTimings(ctx context.Context, id string) (simapi.JobInfo, TimingSummary, error) {
+	var timings TimingSummary
 	err := c.StreamEvents(ctx, id, 0, func(ev simapi.Event) error {
+		if ev.Type == simapi.EventSpan && ev.Span != nil {
+			timings.Spans = append(timings.Spans, *ev.Span)
+		}
 		if ev.Type == simapi.EventState && simapi.TerminalState(ev.State) {
 			return ErrStopStreaming
 		}
@@ -342,12 +394,12 @@ func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
 	})
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
-		return simapi.JobInfo{}, err
+		return simapi.JobInfo{}, timings, err
 	}
 	if ctx.Err() != nil {
 		// Report the cancellation even if the stream happened to end cleanly
 		// first — never a nil error with a zero JobInfo.
-		return simapi.JobInfo{}, ctx.Err()
+		return simapi.JobInfo{}, timings, ctx.Err()
 	}
 	// Whatever the stream said, the job's own state decides: poll until
 	// terminal (immediately satisfied in the common stream-saw-it case).
@@ -356,18 +408,18 @@ func (c *Client) Wait(ctx context.Context, id string) (simapi.JobInfo, error) {
 		switch {
 		case err == nil:
 			if simapi.TerminalState(info.State) {
-				return info, nil
+				return info, timings, nil
 			}
 		case errors.As(err, &apiErr):
-			return info, err
+			return info, timings, err
 		case ctx.Err() != nil:
-			return info, ctx.Err()
+			return info, timings, ctx.Err()
 			// Anything else is transport-level (connection refused while the
 			// server restarts): keep polling until ctx gives up.
 		}
 		select {
 		case <-ctx.Done():
-			return info, ctx.Err()
+			return info, timings, ctx.Err()
 		case <-time.After(200 * time.Millisecond):
 		}
 	}

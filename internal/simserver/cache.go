@@ -9,11 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // CodeRevision returns the identifier baked into every result-cache record:
@@ -21,29 +21,9 @@ import (
 // (go test, go run from a dirty tree). Measurements are only as trustworthy
 // as the simulator that produced them, so a cache populated by one revision
 // never serves a binary built from another — those entries simply miss and
-// the pairs re-simulate.
-func CodeRevision() string {
-	if info, ok := debug.ReadBuildInfo(); ok {
-		rev, dirty := "", false
-		for _, s := range info.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				rev = s.Value
-			case "vcs.modified":
-				dirty = s.Value == "true"
-			}
-		}
-		if rev != "" {
-			// A dirty tree is a different simulator than the clean build of
-			// the same commit; it must not share the clean build's cache.
-			if dirty {
-				return rev + "-dirty"
-			}
-			return rev
-		}
-	}
-	return "dev"
-}
+// the pairs re-simulate. The detection itself lives in internal/obs so the
+// CLI binaries share it for -version output.
+func CodeRevision() string { return obs.CodeRevision() }
 
 // cacheRecord is one JSONL line of the result-cache file: the entry's
 // content-address, the code revision that produced it, and the sweep

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/simapi"
 	"repro/internal/simstore"
 	"repro/internal/simwire"
@@ -52,6 +53,13 @@ type dispatcher struct {
 	// write-ahead log. Replay ignores them (a recovered job re-plans its
 	// shard tasks), but they make a crash's task state auditable.
 	walLog func(simstore.Record)
+	// spanLog, when set, appends a timing span to the owning job's event log
+	// (one "shard[i]" span per retired task, first lease → full delivery).
+	// It takes the job's own locks, so it is never called under d.mu.
+	spanLog func(jobID string, rec obs.SpanRecord)
+	// pairTime, when set, feeds the pair latency histogram: a completing
+	// worker's reported wall time divided evenly across its executed pairs.
+	pairTime func(d time.Duration)
 
 	mu         sync.Mutex
 	workers    map[string]*remoteWorker
@@ -105,7 +113,9 @@ type shardTask struct {
 	id  string
 	run *distRun
 
+	idx        int // position among the run's tasks, for the shard[idx] span
 	start, end int
+	firstLease time.Time // when the first worker claimed the task
 	done       []experiments.CheckpointEntry
 	pending    map[string]experiments.PairJob
 	attempt    int
@@ -289,6 +299,9 @@ func (d *dispatcher) lease(workerID string) (*simwire.Task, error) {
 	t.state = taskLeased
 	t.workerID = workerID
 	t.attempt++
+	if t.firstLease.IsZero() {
+		t.firstLease = now
+	}
 	t.expiry = now.Add(d.leaseTTL)
 	d.logf("task %s [%d,%d) of %s leased to %s (attempt %d)",
 		t.id, t.start, t.end, t.run.jobID, workerID, t.attempt)
@@ -337,18 +350,22 @@ func (d *dispatcher) progress(taskID, workerID string, entries []experiments.Che
 		t.expiry = now.Add(d.leaseTTL)
 	}
 	finished := len(t.pending) == 0
+	emitSpan := noSpan
 	if finished {
-		d.finishTaskLocked(t)
+		emitSpan = d.finishTaskLocked(t)
 	}
 	d.mu.Unlock()
+	emitSpan()
 	run.deliver(pairs, finished, "")
 	return !holder || run.isDone(), nil
 }
 
 // complete finishes a task: remaining pairs are merged from the final
 // delivery, and a reported simulation error fails the whole job (exactly as
-// a failing pair fails a local run).
-func (d *dispatcher) complete(taskID, workerID string, entries []experiments.CheckpointEntry, errMsg string) (canceled bool, err error) {
+// a failing pair fails a local run). wallMillis is the worker's reported
+// whole-task wall time, divided evenly across the pairs it executed to feed
+// the pair latency histogram (0 = unreported, e.g. an older worker).
+func (d *dispatcher) complete(taskID, workerID string, entries []experiments.CheckpointEntry, errMsg string, wallMillis int64) (canceled bool, err error) {
 	now := time.Now()
 	d.mu.Lock()
 	w := d.workers[workerID]
@@ -357,6 +374,16 @@ func (d *dispatcher) complete(taskID, workerID string, entries []experiments.Che
 		return true, errUnknownWorker
 	}
 	w.lastSeen = now
+	// The latency observation must not depend on the task still existing:
+	// when heartbeats streamed every pair, the final progress post already
+	// finished (and deleted) the task, yet this complete is the only message
+	// carrying the wall time of work that really ran on this worker.
+	if d.pairTime != nil && wallMillis > 0 && len(entries) > 0 {
+		per := time.Duration(wallMillis) * time.Millisecond / time.Duration(len(entries))
+		for range entries {
+			d.pairTime(per)
+		}
+	}
 	t := d.tasks[taskID]
 	if t == nil {
 		d.mu.Unlock()
@@ -384,10 +411,11 @@ func (d *dispatcher) complete(taskID, workerID string, entries []experiments.Che
 		run.deliver(pairs, false, fmt.Sprintf("remote worker %s: %s", workerID, errMsg))
 		return false, nil
 	case len(t.pending) == 0:
-		d.finishTaskLocked(t)
+		emitSpan := d.finishTaskLocked(t)
 		d.logf("task %s completed by %s (%d/%d pairs delivered now)",
 			t.id, workerID, len(pairs), t.end-t.start)
 		d.mu.Unlock()
+		emitSpan()
 		run.deliver(pairs, true, "")
 		return run.isDone(), nil
 	default:
@@ -406,8 +434,14 @@ func (d *dispatcher) complete(taskID, workerID string, entries []experiments.Che
 	}
 }
 
-// finishTaskLocked retires a fully delivered task. Callers hold d.mu.
-func (d *dispatcher) finishTaskLocked(t *shardTask) {
+// noSpan is the no-op span emitter finishTaskLocked returns when there is
+// nothing to emit.
+func noSpan() {}
+
+// finishTaskLocked retires a fully delivered task. Callers hold d.mu and must
+// invoke the returned closure after releasing it: span emission takes the
+// owning job's locks, which must never nest inside d.mu.
+func (d *dispatcher) finishTaskLocked(t *shardTask) (emitSpan func()) {
 	if t.state == taskQueued {
 		d.removeQueuedLocked(t)
 	}
@@ -419,6 +453,12 @@ func (d *dispatcher) finishTaskLocked(t *shardTask) {
 			TaskID: t.id, WorkerID: t.workerID,
 		})
 	}
+	if d.spanLog == nil {
+		return noSpan
+	}
+	jobID := t.run.jobID
+	rec := obs.SpanAt(fmt.Sprintf("shard[%d]", t.idx), t.firstLease).End()
+	return func() { d.spanLog(jobID, rec) }
 }
 
 // requeueLocked sends a task back to the queue, excluding the worker that
@@ -521,6 +561,7 @@ func (d *dispatcher) reap(now time.Time) {
 // the context is canceled.
 func (d *dispatcher) executor(jobID string, spec simapi.JobSpec) experiments.Executor {
 	return func(ctx context.Context, req experiments.ExecRequest) error {
+		distStart := time.Now()
 		d.mu.Lock()
 		n := len(d.workers)
 		if n == 0 {
@@ -544,6 +585,7 @@ func (d *dispatcher) executor(jobID string, spec simapi.JobSpec) experiments.Exe
 			t := &shardTask{
 				id:       fmt.Sprintf("task-%06d", d.nextTask),
 				run:      run,
+				idx:      i,
 				start:    chunk[0].Index,
 				end:      chunk[len(chunk)-1].Index + 1,
 				pending:  make(map[string]experiments.PairJob, len(chunk)),
@@ -569,7 +611,13 @@ func (d *dispatcher) executor(jobID string, spec simapi.JobSpec) experiments.Exe
 			jobID, len(req.Pending), nTasks, n)
 		select {
 		case <-run.doneCh:
-			return run.result()
+			err := run.result()
+			if err == nil && d.spanLog != nil {
+				// One "merged" span per distributed run: task split → last
+				// shard delivered and folded into the engine's emit stream.
+				d.spanLog(jobID, obs.SpanAt("merged", distStart).End())
+			}
+			return err
 		case <-ctx.Done():
 			d.withdraw(run)
 			return ctx.Err()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/simapi"
 	"repro/internal/simclient"
 	"repro/internal/simwire"
@@ -158,6 +159,26 @@ func TestDistributedJobMatchesLocal(t *testing.T) {
 	}
 	if m.InstsSimulated == 0 {
 		t.Error("/metricsz throughput counter not fed by remote pairs")
+	}
+
+	// The distributed run must leave a span trail in the event log (shard
+	// tasks and the merged distribution phase) and feed the pair latency
+	// histogram from the workers' reported wall times.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, timings, err := c.WaitTimings(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanNames := make(map[string]bool)
+	for _, sp := range timings.Spans {
+		spanNames[sp.Name] = true
+	}
+	if !spanNames["shard[0]"] || !spanNames["merged"] {
+		t.Errorf("distributed span trail incomplete: %+v", timings.Spans)
+	}
+	if n := srv.prom.pairLatency.Count(); n != uint64(info.ExecutedPairs) {
+		t.Errorf("pair latency observations = %d, want one per executed pair (%d)", n, info.ExecutedPairs)
 	}
 }
 
@@ -468,6 +489,40 @@ func TestNoRemoteWorkersRunsLocally(t *testing.T) {
 	m := srv.Metrics()
 	if m.RemotePairs != 0 || m.TasksCompleted != 0 || m.TasksRequeued != 0 {
 		t.Errorf("fleet counters moved without a fleet: %+v", m)
+	}
+}
+
+// TestCompleteAfterStreamedFinishObservesPairLatency: when heartbeats
+// streamed every pair, the final progress post already finished and deleted
+// the task — yet the worker's complete is the only message carrying the
+// task's wall time, so it must still feed the pair latency histogram.
+// (Regression: the observation used to sit after the task lookup, so fully
+// streamed tasks never reported a latency sample.)
+func TestCompleteAfterStreamedFinishObservesPairLatency(t *testing.T) {
+	srv, c, _ := newCoordinator(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reg, err := c.RegisterWorker(ctx, simwire.RegisterRequest{Name: "streamer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []experiments.CheckpointEntry{
+		{Benchmark: "gzip", Config: "nosq-delay@w0128"},
+		{Benchmark: "applu", Config: "nosq-delay@w0128"},
+	}
+	resp, err := c.CompleteTaskTimed(ctx, "task-gone", reg.WorkerID, entries, "", 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Canceled {
+		t.Error("complete for a finished task not told the task is gone")
+	}
+	if got := srv.prom.pairLatency.Count(); got != uint64(len(entries)) {
+		t.Errorf("pair latency observations = %d, want %d", got, len(entries))
+	}
+	// 80ms over 2 pairs = 40ms each; both land below the 100ms bucket bound.
+	if sum := srv.prom.pairLatency.Sum(); sum < 0.079 || sum > 0.081 {
+		t.Errorf("pair latency sum = %v s, want ~0.080", sum)
 	}
 }
 

@@ -14,8 +14,21 @@ import (
 	"repro/internal/stats"
 )
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// request-duration middleware.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mux.ServeHTTP(w, r)
+		// The mux fills in r.Pattern during dispatch, so the label is the
+		// bounded route pattern ("GET /api/v1/jobs/{id}"), never the raw URL.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.prom.httpSeconds.With(route).ObserveSince(start)
+	})
+}
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -75,7 +88,9 @@ func (s *Server) handleWorkerProgress(w http.ResponseWriter, r *http.Request) {
 	if !decodeWire(w, r, &req) {
 		return
 	}
+	start := time.Now()
 	canceled, err := s.dispatch.progress(r.PathValue("id"), req.WorkerID, req.Entries)
+	s.prom.leaseRTT.ObserveSince(start)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -88,7 +103,7 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeWire(w, r, &req) {
 		return
 	}
-	canceled, err := s.dispatch.complete(r.PathValue("id"), req.WorkerID, req.Entries, req.Error)
+	canceled, err := s.dispatch.complete(r.PathValue("id"), req.WorkerID, req.Entries, req.Error, req.WallMillis)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -112,8 +127,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
 }
 
+// handleMetrics serves /metricsz. The historical JSON document stays the
+// default; Prometheus text exposition is opt-in via ?format=prometheus or an
+// Accept header asking for text/plain (what a Prometheus scraper sends).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	format := r.URL.Query().Get("format")
+	switch {
+	case format == "prometheus",
+		format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain"):
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.prom.reg.WritePrometheus(w)
+	case format == "" || format == "json":
+		writeJSON(w, http.StatusOK, s.Metrics())
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown metrics format %q (want json or prometheus)", format)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +270,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
+	// Idle streams emit periodic keep-alive frames so intermediaries do not
+	// sever a long quiet watch: an SSE comment line, which clients ignore by
+	// spec, or a blank JSONL line, which line-oriented readers skip.
+	var keepAlive <-chan time.Time
+	if s.cfg.KeepAliveInterval > 0 {
+		t := time.NewTicker(s.cfg.KeepAliveInterval)
+		defer t.Stop()
+		keepAlive = t.C
+	}
+
 	for {
 		evs, state, notify := j.eventsSince(from)
 		for _, ev := range evs {
@@ -263,6 +302,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-notify:
+		case <-keepAlive:
+			if sse {
+				fmt.Fprint(w, ": keep-alive\n\n")
+			} else {
+				fmt.Fprint(w, "\n")
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		case <-r.Context().Done():
 			return
 		}

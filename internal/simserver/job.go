@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/simapi"
 )
 
@@ -88,6 +89,7 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
 	j.started = now
 	j.cancel = cancel
 	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: simapi.StateRunning, Time: now})
+	j.appendEventLocked(spanEvent(obs.SpanAt("queued", j.submitted).EndAt(now), now))
 	return true
 }
 
@@ -98,12 +100,43 @@ func (j *job) finish(state, errMsg string, rep *experiments.Report, now time.Tim
 	if simapi.TerminalState(j.state) {
 		return
 	}
+	// Timing spans land before the terminal state event — followers stop at
+	// the terminal event, so anything after it would never be streamed.
+	if !j.started.IsZero() {
+		j.appendEventLocked(spanEvent(obs.SpanAt("run", j.started).EndAt(now), now))
+	}
+	j.appendEventLocked(spanEvent(obs.SpanAt("total", j.submitted).EndAt(now), now))
 	j.state = state
 	j.errMsg = errMsg
 	j.report = rep
 	j.finished = now
 	j.cancel = nil
 	j.appendEventLocked(simapi.Event{Type: simapi.EventState, State: state, Error: errMsg, Time: now})
+}
+
+// span appends one timing span to the event log, unless the job already
+// reached a terminal state (late spans from the dispatcher must not land
+// after the terminal event, which ends every follower's stream).
+func (j *job) span(rec obs.SpanRecord, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if simapi.TerminalState(j.state) {
+		return
+	}
+	j.appendEventLocked(spanEvent(rec, now))
+}
+
+// spanEvent renders a span record as a job event.
+func spanEvent(rec obs.SpanRecord, now time.Time) simapi.Event {
+	return simapi.Event{
+		Type: simapi.EventSpan,
+		Time: now,
+		Span: &simapi.SpanInfo{
+			Name:           rec.Name,
+			Start:          rec.Start,
+			DurationMillis: float64(rec.Duration) / float64(time.Millisecond),
+		},
+	}
 }
 
 // markCanceledQueued cancels a job that never left the queue.
@@ -214,6 +247,7 @@ type jobSink struct {
 	j     *job
 	cache *ResultCache
 	m     *metrics
+	prom  *promMetrics
 	// replan marks the in-process fallback re-run after a lost fleet: its
 	// plan is skipped entirely — the first plan already recorded the job's
 	// true cache hits, and pairs delivered remotely in between would
@@ -235,5 +269,17 @@ func (s *jobSink) Planned(total, resumed, skippedShard, pending int) {
 func (s *jobSink) PairDone(e experiments.CheckpointEntry) {
 	s.cache.RecordMisses(1)
 	s.m.insts.Add(e.Run.Committed)
+	if s.prom != nil {
+		s.prom.pairDone(e.Config, e.Run.Flushes, e.Run.BypassMispredictions, e.Run.Committed)
+	}
 	s.j.pairDone(e, time.Now())
+}
+
+// PairTimed implements experiments.PairTimer: the sweep engine's per-pair
+// wall-time attribution (a config-parallel batch group's wall divided across
+// its members) feeds the pair latency histogram.
+func (s *jobSink) PairTimed(benchmark, config string, wall time.Duration) {
+	if s.prom != nil {
+		s.prom.pairLatency.Observe(wall.Seconds())
+	}
 }

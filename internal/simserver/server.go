@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/simapi"
 	"repro/internal/simstore"
 	"repro/internal/stats"
@@ -104,6 +105,11 @@ type Config struct {
 	// capacity (rate 0 = no rate limit; burst 0 = 1).
 	QuotaRate  float64
 	QuotaBurst int
+	// KeepAliveInterval is how often an idle job event stream emits a
+	// keep-alive frame (an SSE comment, or a blank JSONL line) so proxies and
+	// load balancers do not sever long quiet watches (0 = 15s; negative
+	// disables keep-alives).
+	KeepAliveInterval time.Duration
 	// Logf, if set, receives one line per job lifecycle edge ("" = silent).
 	Logf func(format string, args ...interface{})
 }
@@ -117,6 +123,7 @@ type Server struct {
 	cache    *ResultCache
 	queue    *jobQueue
 	metrics  *metrics
+	prom     *promMetrics
 	dispatch *dispatcher
 	wal      *simstore.WAL // nil unless cfg.StateDir is set
 	mux      *http.ServeMux
@@ -167,6 +174,9 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 	if cfg.WALCompactEvery <= 0 {
 		cfg.WALCompactEvery = 512
 	}
+	if cfg.KeepAliveInterval == 0 {
+		cfg.KeepAliveInterval = 15 * time.Second
+	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 			return nil, 0, fmt.Errorf("simserver: creating state dir: %w", err)
@@ -198,8 +208,13 @@ func New(cfg Config) (s *Server, corrupt int, err error) {
 	}
 	s.dispatch = newDispatcher(cfg.LeaseTTL, cfg.WorkerTTL, cfg.PollInterval, s.logf)
 	s.dispatch.walLog = s.walAppend
+	s.prom = newPromMetrics(s)
+	s.dispatch.spanLog = s.jobSpan
+	s.dispatch.pairTime = func(d time.Duration) { s.prom.pairLatency.Observe(d.Seconds()) }
 	if cfg.StateDir != "" {
-		wal, records, walCorrupt, werr := simstore.Open(filepath.Join(cfg.StateDir, "wal.jsonl"), simstore.Hooks{})
+		wal, records, walCorrupt, werr := simstore.Open(filepath.Join(cfg.StateDir, "wal.jsonl"), simstore.Hooks{
+			AppendDone: func(d time.Duration) { s.prom.walAppend.Observe(d.Seconds()) },
+		})
 		if werr != nil {
 			cache.Close()
 			cancel()
@@ -499,6 +514,9 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	s.tenants.jobStarted(j.client)
 	s.mu.Unlock()
+	// j.submitted is written once at construction, so reading it without the
+	// job lock is safe.
+	s.prom.queueWait.Observe(now.Sub(j.submitted).Seconds())
 	s.walAppend(simstore.Record{Type: simstore.RecStarted, Time: now, JobID: j.id})
 	s.metrics.jobStarted(j.seq)
 	startT := time.Now()
@@ -512,8 +530,8 @@ func (s *Server) runJob(j *job) {
 	}
 	opts := j.spec.Options()
 	opts.Parallelism = s.cfg.Parallelism
-	opts.Store = s.cache
-	sink := &jobSink{j: j, cache: s.cache, m: s.metrics}
+	opts.Store = timedStore{store: s.cache, h: s.prom.cacheLookup}
+	sink := &jobSink{j: j, cache: s.cache, m: s.metrics, prom: s.prom}
 	opts.Progress = sink
 	// With remote workers registered, this worker coordinates instead of
 	// simulating: the sweep engine hands its pending pairs to the dispatcher,
@@ -637,11 +655,27 @@ func renderAll(rep *experiments.Report) map[string]string {
 	return out
 }
 
+// jobSpan appends a dispatcher-produced timing span to a job's event log
+// (dropped if the job is gone or already terminal).
+func (s *Server) jobSpan(jobID string, rec obs.SpanRecord) {
+	s.mu.Lock()
+	j := s.jobs[jobID]
+	s.mu.Unlock()
+	if j != nil {
+		j.span(rec, time.Now())
+	}
+}
+
 // Health assembles the /healthz document.
 func (s *Server) Health() simapi.Health {
 	names := experiments.Names()
 	sort.Strings(names)
-	return simapi.Health{Status: "ok", CodeRev: s.rev, Experiments: names}
+	return simapi.Health{
+		Status:      "ok",
+		CodeRev:     s.rev,
+		Experiments: names,
+		Build:       simapi.BuildInfo{CodeRev: s.rev, GoVersion: runtime.Version()},
+	}
 }
 
 // Metrics assembles the /metricsz document.

@@ -85,6 +85,10 @@ type PairCounts struct {
 type Hooks struct {
 	Write func(f *os.File, b []byte) (int, error)
 	Sync  func(f *os.File) error
+	// AppendDone, if set, observes the wall-clock duration of each successful
+	// Append (marshal + write + fsync) — the server feeds it into its WAL
+	// latency histogram. Called with the WAL lock held; keep it quick.
+	AppendDone func(time.Duration)
 }
 
 func (h Hooks) write(f *os.File, b []byte) (int, error) {
@@ -171,6 +175,7 @@ func Open(path string, hooks Hooks) (w *WAL, records []Record, corrupt int, err 
 // operation (submissions do) or degrades to a warning (mid-run transitions
 // do, since the job's work is still recoverable from the result cache).
 func (w *WAL) Append(rec Record) error {
+	start := time.Now()
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("simstore: encoding WAL record: %w", err)
@@ -188,6 +193,9 @@ func (w *WAL) Append(rec Record) error {
 		return fmt.Errorf("simstore: syncing WAL: %w", err)
 	}
 	w.appends++
+	if w.hooks.AppendDone != nil {
+		w.hooks.AppendDone(time.Since(start))
+	}
 	return nil
 }
 

@@ -113,6 +113,11 @@ type CompleteRequest struct {
 	WorkerID string                        `json:"worker_id"`
 	Entries  []experiments.CheckpointEntry `json:"entries,omitempty"`
 	Error    string                        `json:"error,omitempty"`
+	// WallMillis is the worker-measured wall-clock time of the whole task
+	// (lease receipt → completion), in milliseconds. Additive and advisory:
+	// the coordinator divides it across the task's pairs to feed its pair
+	// latency histogram; an older worker simply omits it.
+	WallMillis int64 `json:"wall_ms,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion.

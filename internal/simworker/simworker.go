@@ -222,12 +222,13 @@ func (s seedStore) Append(experiments.CheckpointEntry) error          { return n
 func (a *Agent) runTask(ctx context.Context, task *simwire.Task) {
 	a.logf("task %s: %s pairs [%d,%d), attempt %d", task.ID, task.Spec.Experiment,
 		task.Start, task.End, task.Attempt)
+	taskStart := time.Now()
 	exp, err := experiments.Lookup(task.Spec.Experiment)
 	if err != nil {
 		// Version skew: this binary does not know the experiment. Completing
 		// with the error (failing the job) beats a requeue loop across an
 		// equally stale fleet.
-		a.complete(task, nil, err.Error())
+		a.complete(task, nil, err.Error(), 0)
 		return
 	}
 
@@ -257,9 +258,9 @@ func (a *Agent) runTask(ctx context.Context, task *simwire.Task) {
 		// or lease lost): nothing further to report.
 		a.logf("task %s abandoned (canceled by coordinator)", task.ID)
 	case runErr != nil:
-		a.complete(task, sink.everything(), runErr.Error())
+		a.complete(task, sink.everything(), runErr.Error(), time.Since(taskStart))
 	default:
-		a.complete(task, sink.everything(), "")
+		a.complete(task, sink.everything(), "", time.Since(taskStart))
 	}
 }
 
@@ -304,10 +305,12 @@ func (a *Agent) heartbeat(tctx context.Context, cancel context.CancelFunc, task 
 
 // complete reports a finished task, retrying briefly so one dropped
 // connection does not turn a finished slice into a lease-expiry re-run.
-func (a *Agent) complete(task *simwire.Task, entries []experiments.CheckpointEntry, errMsg string) {
+// wall is the worker-measured wall-clock time of the whole task, shipped to
+// the coordinator's pair latency accounting (0 = unmeasured).
+func (a *Agent) complete(task *simwire.Task, entries []experiments.CheckpointEntry, errMsg string, wall time.Duration) {
 	for attempt := 0; attempt < 3; attempt++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		_, err := a.client.CompleteTask(ctx, task.ID, a.workerID, entries, errMsg)
+		_, err := a.client.CompleteTaskTimed(ctx, task.ID, a.workerID, entries, errMsg, wall)
 		cancel()
 		if err == nil {
 			a.logf("task %s complete (%d pairs, err=%q)", task.ID, len(entries), errMsg)
