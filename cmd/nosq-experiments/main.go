@@ -59,6 +59,7 @@ func main() {
 		shardIndex = flag.Int("shard-index", 0, "this process's 0-based shard (with -shards)")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
 		scenario   = flag.String("scenario", "", "workload scenario spec file (JSON) to run through the scenario experiment")
+		corpusDir  = flag.String("corpus-dir", "", "corpus experiment only: directory of committed scenario entries (default: bench/corpus)")
 		noBatch    = flag.Bool("no-batch", false, "disable config-parallel batch simulation (results are identical either way; NOSQ_NO_BATCH=1 has the same effect)")
 		version    = flag.Bool("version", false, "print version information and exit")
 	)
@@ -94,6 +95,17 @@ func main() {
 		ShardIndex:  *shardIndex,
 		Checkpoint:  *checkpoint,
 		NoBatch:     *noBatch,
+		CorpusDir:   *corpusDir,
+	}
+	if *corpusDir != "" {
+		// A corpus directory implies the corpus experiment, mirroring how
+		// -scenario implies the scenario experiment.
+		if *exp == "all" {
+			*exp = "corpus"
+		} else if *exp != "corpus" {
+			fmt.Fprintf(os.Stderr, "-corpus-dir only applies to the corpus experiment; drop -exp %s or use -exp corpus\n", *exp)
+			os.Exit(2)
+		}
 	}
 	if *scenario != "" {
 		// A spec file implies the scenario experiment: -exp all narrows to it,
@@ -132,7 +144,14 @@ func main() {
 
 	var selected []experiments.Experiment
 	if *exp == "all" {
-		selected = experiments.All()
+		// "all" means every self-contained experiment: the corpus replay
+		// depends on a committed corpus directory on disk, so it only runs
+		// when named explicitly (-exp corpus or -corpus-dir).
+		for _, e := range experiments.All() {
+			if e.Name() != "corpus" {
+				selected = append(selected, e)
+			}
+		}
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
 			e, err := experiments.Lookup(strings.TrimSpace(name))

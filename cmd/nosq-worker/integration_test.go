@@ -25,7 +25,17 @@ import (
 // its base URL plus a stop function (SIGTERM, wait).
 func startServer(t *testing.T, bin string, args ...string) (baseURL string, stop func()) {
 	t.Helper()
+	return startServerAt(t, "", bin, args...)
+}
+
+// startServerAt is startServer with an explicit working directory for the
+// server process ("" = inherit). The corpus experiment resolves its committed
+// corpus relative to the process working directory, so corpus jobs need the
+// server started from the repository root.
+func startServerAt(t *testing.T, dir, bin string, args ...string) (baseURL string, stop func()) {
+	t.Helper()
 	srv := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	srv.Dir = dir
 	var stderr bytes.Buffer
 	srv.Stderr = &stderr
 	stdout, err := srv.StdoutPipe()
@@ -123,9 +133,18 @@ func startServerProc(t *testing.T, bin string, args ...string) (baseURL string, 
 // returns its process (for killing) plus a graceful stop function.
 func startWorker(t *testing.T, bin, serverURL, name string, extra ...string) (*exec.Cmd, func()) {
 	t.Helper()
+	return startWorkerAt(t, "", bin, serverURL, name, extra...)
+}
+
+// startWorkerAt is startWorker with an explicit working directory ("" =
+// inherit); corpus-experiment workers must run from the repository root so
+// they resolve the same committed corpus as the coordinator.
+func startWorkerAt(t *testing.T, dir, bin, serverURL, name string, extra ...string) (*exec.Cmd, func()) {
+	t.Helper()
 	args := append([]string{"-server", serverURL, "-name", name, "-parallel", "2",
 		"-poll-interval", "25ms"}, extra...)
 	w := exec.Command(bin, args...)
+	w.Dir = dir
 	var stderr bytes.Buffer
 	w.Stderr = &stderr
 	if err := w.Start(); err != nil {
@@ -666,6 +685,132 @@ func TestFlagValidationIntegration(t *testing.T) {
 		}
 		if !strings.Contains(string(out), tc.want) {
 			t.Errorf("%s %v: output %q does not mention %q", filepath.Base(tc.bin), tc.args, out, tc.want)
+		}
+	}
+}
+
+// TestCorpusEntryEndToEnd is the acceptance test of the committed
+// pathological-scenario corpus (bench/corpus, discovered by nosq-tune): the
+// corpus experiment replays every committed entry through all three
+// execution surfaces — the nosq-experiments CLI, a single-node server job,
+// and a distributed fleet — and the reports must be byte-identical in both
+// machine formats. Every process runs from the repository root, the
+// documented requirement for corpus jobs (the corpus directory is resolved
+// against each node's own checkout, never shipped over the wire).
+//
+// Run with: go test -tags integration ./cmd/nosq-worker -run TestCorpusEntryEndToEnd
+func TestCorpusEntryEndToEnd(t *testing.T) {
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(repoRoot, "bench", "corpus")); err != nil {
+		t.Fatalf("committed corpus missing: %v", err)
+	}
+
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "nosq-server")
+	workerBin := filepath.Join(dir, "nosq-worker")
+	expBin := filepath.Join(dir, "nosq-experiments")
+	for bin, pkg := range map[string]string{serverBin: "../nosq-server", workerBin: ".", expBin: "../nosq-experiments"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	configs := "nosq-delay,perfect-smb"
+
+	// Surface 1: the CLI, from the repository root with the default corpus
+	// directory — exactly how CI's nightly regression run invokes it.
+	cliJSON := filepath.Join(dir, "cli.json")
+	cliCSV := filepath.Join(dir, "cli.csv")
+	for out, format := range map[string]string{cliJSON: "json", cliCSV: "csv"} {
+		cmd := exec.Command(expBin, "-exp", "corpus", "-configs", configs, "-format", format, "-out", out)
+		cmd.Dir = repoRoot
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("CLI corpus run (%s): %v\n%s", format, err, o)
+		}
+	}
+	wantJSON, err := os.ReadFile(cliJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(cliCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := simapi.JobSpec{Experiment: "corpus", Configs: strings.Split(configs, ",")}
+	fetch := func(c *simclient.Client, id string) (jsonRep, csvRep []byte) {
+		t.Helper()
+		j, err := c.Report(ctx, id, "json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.Report(ctx, id, "csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, v
+	}
+
+	// Surface 2: a single-node server job, server running from the repo root.
+	soloURL, soloStop := startServerAt(t, repoRoot, serverBin, "-workers", "1")
+	soloC := simclient.New(soloURL, nil)
+	soloInfo, err := soloC.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo, err = soloC.Wait(ctx, soloInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo.State != simapi.StateDone {
+		t.Fatalf("single-node corpus job = %+v", soloInfo)
+	}
+	soloJSON, soloCSV := fetch(soloC, soloInfo.ID)
+	soloStop()
+
+	// Surface 3: a distributed fleet, every node running from the repo root.
+	coordURL, _ := startServerAt(t, repoRoot, serverBin, "-workers", "1")
+	c := simclient.New(coordURL, nil)
+	startWorkerAt(t, repoRoot, workerBin, coordURL, "corpus-a")
+	startWorkerAt(t, repoRoot, workerBin, coordURL, "corpus-b")
+	waitRemoteWorkers(t, c, 2)
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err = c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != simapi.StateDone {
+		t.Fatalf("distributed corpus job = %+v", info)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RemotePairs == 0 {
+		t.Error("no pairs executed remotely; the fleet was bypassed")
+	}
+	distJSON, distCSV := fetch(c, info.ID)
+
+	for _, cmp := range []struct {
+		surface    string
+		gotJ, gotC []byte
+	}{
+		{"single-node server", soloJSON, soloCSV},
+		{"distributed fleet", distJSON, distCSV},
+	} {
+		if !bytes.Equal(wantJSON, cmp.gotJ) {
+			t.Errorf("%s JSON report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantJSON, cmp.surface, cmp.gotJ)
+		}
+		if !bytes.Equal(wantCSV, cmp.gotC) {
+			t.Errorf("%s CSV report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantCSV, cmp.surface, cmp.gotC)
 		}
 	}
 }

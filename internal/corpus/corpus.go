@@ -1,0 +1,217 @@
+// Package corpus defines the on-disk format of the committed
+// pathological-scenario corpus under bench/corpus/: workload scenarios
+// discovered by the adversarial tuner (cmd/nosq-tune), each stored as one
+// JSON file that is simultaneously a replayable workload.Scenario spec and a
+// provenance record of how the tuner found it.
+//
+// The format is deliberately dual-purpose. An entry's top level is exactly a
+// scenario spec (the Scenario struct is embedded, so its knobs marshal flat),
+// which means any corpus file can be fed unchanged to `nosqsim -scenario`,
+// `nosq-experiments -scenario`, or a server job's inline scenario field —
+// workload.ParseScenario tolerates the extra "provenance" key as an unknown
+// field, and because scenario identity is the hash of the *re-marshalled*
+// struct, the provenance block can never perturb result keys. The provenance
+// block records what the tuner measured (objective, score, evaluation
+// configuration) and where the entry came from (search seed, generation,
+// parent hash, mutation description, lineage), so a regression in the corpus
+// experiment can be traced back to the exact search that produced the entry.
+//
+// Entries are content-addressed like scenarios themselves: the filename
+// embeds a prefix of the scenario hash, and Provenance.ScenarioHash pins the
+// full hash so a hand-edited spec that drifted from its recorded measurement
+// fails loudly at load time instead of silently replaying the wrong workload.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Provenance records how the tuner discovered a corpus entry and what it
+// measured. Every field is descriptive except ScenarioHash, which is
+// load-bearing: LoadEntry rejects an entry whose spec no longer hashes to it.
+type Provenance struct {
+	// Objective names the tuner objective the entry maximizes
+	// (e.g. "flush-rate", "mispred", "svw-miss", "ipc-gap").
+	Objective string `json:"objective"`
+	// Unit is the objective's unit, for humans reading the file
+	// (e.g. "flushes/1k commits").
+	Unit string `json:"unit,omitempty"`
+	// Score is the objective value the tuner measured for this scenario.
+	// The corpus replay test re-evaluates the entry and asserts the score
+	// reproduces within tolerance.
+	Score float64 `json:"score"`
+	// Config is the configuration kind the objective was evaluated on
+	// (e.g. "nosq-delay").
+	Config string `json:"config"`
+	// BaselineConfig is the comparison configuration for relative
+	// objectives such as ipc-gap (empty for absolute objectives).
+	BaselineConfig string `json:"baseline_config,omitempty"`
+	// Window is the instruction-window size of the evaluation.
+	Window int `json:"window"`
+	// Iterations is the effective main-loop trip count of the evaluation.
+	// Committed entries bake the same count into the spec's own iterations
+	// knob, so a replay with no -iters override reproduces this exactly.
+	Iterations int `json:"iterations"`
+	// SearchSeed is the tuner's root seed; rerunning nosq-tune with the
+	// same seed, budget, and objective rediscovers this entry.
+	SearchSeed uint64 `json:"search_seed"`
+	// SearchIterations is the iteration count the search baked into its
+	// seed scenarios (the -iters knob) — the count StressBest was measured
+	// at, which the replay test uses to recompute it.
+	SearchIterations int `json:"search_iterations,omitempty"`
+	// Generation is the search generation the entry was discovered in
+	// (0 = a seed scenario).
+	Generation int `json:"generation"`
+	// Parent is the scenario hash of the mutated parent (empty for seeds).
+	Parent string `json:"parent,omitempty"`
+	// Mutation describes the knob delta that produced this entry from its
+	// parent (e.g. "mix: full_comm_pct 16->40, indep_pct 72->48").
+	Mutation string `json:"mutation,omitempty"`
+	// Lineage lists the mutation descriptions from the seed scenario down
+	// to this entry, oldest first.
+	Lineage []string `json:"lineage,omitempty"`
+	// StressBest is the best objective value over the built-in stress
+	// suite (workload.StressScenarios) under the same evaluation settings,
+	// recorded so the margin the entry clears is visible in the file.
+	StressBest float64 `json:"stress_best,omitempty"`
+	// ScenarioHash is the full content hash of the embedded spec
+	// (workload.Scenario.Hash). LoadEntry verifies it.
+	ScenarioHash string `json:"scenario_hash"`
+	// Tool identifies the producer, e.g. "nosq-tune".
+	Tool string `json:"tool,omitempty"`
+}
+
+// Entry is one corpus file: a scenario spec with its discovery provenance.
+// Scenario is embedded so the entry marshals flat — the file *is* a scenario
+// spec with one extra "provenance" key.
+type Entry struct {
+	workload.Scenario
+	Provenance Provenance `json:"provenance"`
+}
+
+// Validate checks the entry: the spec must be a valid scenario, the
+// provenance must identify an objective and evaluation cell, and the recorded
+// scenario hash must match the spec's actual content hash.
+func (e Entry) Validate() error {
+	if err := e.Scenario.Validate(); err != nil {
+		return err
+	}
+	p := e.Provenance
+	if p.Objective == "" {
+		return fmt.Errorf("corpus: entry %s: provenance without an objective", e.Name)
+	}
+	if p.Config == "" {
+		return fmt.Errorf("corpus: entry %s: provenance without a config", e.Name)
+	}
+	if p.Window <= 0 {
+		return fmt.Errorf("corpus: entry %s: provenance window must be positive, got %d", e.Name, p.Window)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("corpus: entry %s: provenance iterations must be positive, got %d", e.Name, p.Iterations)
+	}
+	if got := e.Scenario.Hash(); p.ScenarioHash != got {
+		return fmt.Errorf("corpus: entry %s: provenance scenario_hash %s does not match the spec's hash %s (spec edited after discovery?)",
+			e.Name, p.ScenarioHash, got)
+	}
+	return nil
+}
+
+// Filename derives the entry's canonical filename: the scenario name slugged
+// ("/" becomes "-") plus a 12-hex-digit prefix of the scenario hash, so two
+// entries can share a human name but never a file.
+func (e Entry) Filename() string {
+	slug := strings.ReplaceAll(e.Name, "/", "-")
+	return fmt.Sprintf("%s-%.12s.json", slug, e.Scenario.Hash())
+}
+
+// Encode marshals the entry as indented JSON with a trailing newline — the
+// exact bytes WriteEntry commits, stable for byte-comparison in tests.
+func (e Entry) Encode() ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("corpus: marshaling entry %s: %w", e.Name, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteEntry writes the entry to its canonical filename under dir, creating
+// dir if needed, and returns the written path.
+func WriteEntry(dir string, e Entry) (string, error) {
+	data, err := e.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("corpus: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, e.Filename())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("corpus: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// LoadEntry reads and validates one corpus file.
+func LoadEntry(path string) (Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: reading entry: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("corpus: decoding %s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return Entry{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return e, nil
+}
+
+// LoadDir loads every *.json entry under dir, sorted by filename so the
+// corpus order — and therefore the corpus experiment's scope hash and report
+// row order — is deterministic. A directory with no entries is an error: a
+// corpus run that silently measured nothing would read as a passing
+// regression gate.
+func LoadDir(dir string) ([]Entry, error) {
+	glob, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: listing %s: %w", dir, err)
+	}
+	sort.Strings(glob)
+	if len(glob) == 0 {
+		return nil, fmt.Errorf("corpus: no *.json entries under %s", dir)
+	}
+	entries := make([]Entry, 0, len(glob))
+	names := make(map[string]string, len(glob))
+	for _, path := range glob {
+		e, err := LoadEntry(path)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := names[e.Name]; dup {
+			return nil, fmt.Errorf("corpus: scenario name %q appears in both %s and %s", e.Name, prev, path)
+		}
+		names[e.Name] = path
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Scenarios extracts the entries' scenario specs, in corpus order.
+func Scenarios(entries []Entry) []workload.Scenario {
+	out := make([]workload.Scenario, len(entries))
+	for i, e := range entries {
+		out[i] = e.Scenario
+	}
+	return out
+}

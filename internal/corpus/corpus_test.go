@@ -1,0 +1,164 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func sample() Entry {
+	scn := workload.Scenario{
+		Name:          "tuned/flush-rate/abcd1234",
+		Iterations:    256,
+		Mix:           &workload.SlotMix{IndepPct: 26, FullCommPct: 42, PartialPct: 32},
+		StoreDistance: workload.DistanceBeyondPredictor,
+		FPHeavy:       true,
+	}
+	return Entry{
+		Scenario: scn,
+		Provenance: Provenance{
+			Objective:    "flush-rate",
+			Unit:         "flushes/1k insts",
+			Score:        7.49,
+			Config:       "nosq-delay",
+			Window:       128,
+			Iterations:   256,
+			SearchSeed:   1,
+			Generation:   6,
+			Mutation:     "fp_heavy: false->true",
+			Lineage:      []string{"mix: indep_pct 50->26", "fp_heavy: false->true"},
+			StressBest:   6.17,
+			ScenarioHash: scn.Hash(),
+			Tool:         "nosq-tune",
+		},
+	}
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sample()
+	path, err := WriteEntry(dir, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != want.Filename() {
+		t.Errorf("wrote %s, want filename %s", path, want.Filename())
+	}
+	got, err := LoadEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario.Hash() != want.Scenario.Hash() {
+		t.Errorf("round-trip changed the scenario hash: %s != %s", got.Scenario.Hash(), want.Scenario.Hash())
+	}
+	if !reflect.DeepEqual(got.Provenance, want.Provenance) {
+		t.Errorf("round-trip changed provenance:\n got %+v\nwant %+v", got.Provenance, want.Provenance)
+	}
+}
+
+// TestEntryIsAPlainScenarioSpec pins the dual-purpose format: a corpus file
+// must parse unchanged through workload.ParseScenario (provenance riding as a
+// tolerated unknown field) and hash identically to the embedded spec — which
+// is exactly what lets any corpus file replay byte-identically via
+// `-scenario file`, an inline server job, or the corpus experiment.
+func TestEntryIsAPlainScenarioSpec(t *testing.T) {
+	e := sample()
+	data, err := e.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := workload.ParseScenario(data)
+	if err != nil {
+		t.Fatalf("corpus entry does not parse as a scenario spec: %v", err)
+	}
+	if scn.Hash() != e.Provenance.ScenarioHash {
+		t.Errorf("parsed scenario hash %s, want provenance hash %s", scn.Hash(), e.Provenance.ScenarioHash)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Entry)
+		want   string
+	}{
+		{"no objective", func(e *Entry) { e.Provenance.Objective = "" }, "without an objective"},
+		{"no config", func(e *Entry) { e.Provenance.Config = "" }, "without a config"},
+		{"bad window", func(e *Entry) { e.Provenance.Window = 0 }, "window"},
+		{"bad iterations", func(e *Entry) { e.Provenance.Iterations = -1 }, "iterations"},
+		{"edited spec", func(e *Entry) { e.Scenario.FPHeavy = false }, "does not match"},
+		{"bad scenario", func(e *Entry) { e.Scenario.Name = "bad name!" }, "only letters"},
+	}
+	for _, tc := range cases {
+		e := sample()
+		tc.mutate(&e)
+		err := e.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLoadDirOrderAndDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	a := sample()
+	a.Scenario.Name = "tuned/b-second"
+	a.Provenance.ScenarioHash = a.Scenario.Hash()
+	b := sample()
+	b.Scenario.Name = "tuned/a-first"
+	b.Provenance.ScenarioHash = b.Scenario.Hash()
+	for _, e := range []Entry{a, b} {
+		if _, err := WriteEntry(dir, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "tuned/a-first" || entries[1].Name != "tuned/b-second" {
+		t.Errorf("LoadDir order = %v, want filename-sorted", []string{entries[0].Name, entries[1].Name})
+	}
+
+	// A second file with the same scenario name must be rejected: the
+	// experiment layer keys runs by name, and silent shadowing would replay
+	// only one of the two.
+	dup := b
+	dup.Scenario.Iterations = 300
+	dup.Provenance.ScenarioHash = dup.Scenario.Hash()
+	if _, err := WriteEntry(dir, dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Errorf("duplicate scenario names should fail LoadDir, got %v", err)
+	}
+}
+
+func TestLoadDirEmptyIsError(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty corpus dir should error")
+	}
+}
+
+func TestLoadEntryRejectsTamperedFile(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteEntry(dir, sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"iterations": 256`, `"iterations": 300`, 1)
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEntry(path); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("tampered entry should fail the hash pin, got %v", err)
+	}
+}

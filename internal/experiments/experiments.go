@@ -4,11 +4,15 @@
 // (performance at a 128-entry window), Figure 3 (performance at a 256-entry
 // window), Figure 4 (data-cache read bandwidth), and Figure 5
 // (bypassing-predictor sensitivity to capacity and history length) — plus a
-// free-form sweep over arbitrary configuration × window × benchmark grids.
+// free-form sweep over arbitrary configuration × window × benchmark grids,
+// a scenario experiment for declarative adversarial workloads, and a corpus
+// experiment replaying the committed pathological scenarios under
+// bench/corpus/.
 //
 // Every experiment implements the Experiment interface and is registered by
-// name (table5, fig2, fig3, fig4, fig5cap, fig5hist, sweep); Lookup, Names
-// and All expose the registry to the CLI tools. A run produces a Report —
+// name (table5, fig2, fig3, fig4, fig5cap, fig5hist, sweep, scenario,
+// corpus); Lookup, Names and All expose the registry to the CLI tools.
+// A run produces a Report —
 // one set of structured rows renderable as paper-style text, Markdown, JSON,
 // or CSV — and the classic per-experiment functions (Table5, Figure2, ...)
 // remain as thin wrappers returning the typed rows directly.
@@ -106,6 +110,14 @@ type Options struct {
 	// sizes (nil = 128). Other experiments ignore them.
 	Configs []string
 	Windows []int
+
+	// CorpusDir points the corpus experiment at a committed-corpus
+	// directory of scenario entries ("" = DefaultCorpusDir, resolved
+	// relative to the process working directory). Other experiments ignore
+	// it. It is deliberately absent from the job-spec wire format: a
+	// distributed corpus run requires every node to read the same corpus
+	// revision from its own checkout.
+	CorpusDir string
 
 	// Scenario gives the scenario experiment an inline workload spec to run
 	// instead of the built-in stress suite. The scenario's canonicalized

@@ -15,7 +15,7 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep", "scenario"}
+	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep", "scenario", "corpus"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -64,6 +64,13 @@ func TestEveryExperimentRendersEveryFormat(t *testing.T) {
 			opts.Benchmarks = []string{"stress/phase-flip"}
 			opts.Configs = []string{"nosq-delay"}
 			wantName = "stress/phase-flip"
+		}
+		if e.Name() == "corpus" {
+			// The corpus experiment reads committed entries from a directory.
+			opts.Benchmarks = nil
+			opts.Configs = []string{"nosq-delay"}
+			opts.CorpusDir = writeTestCorpus(t)
+			wantName = "tuned/test/entry"
 		}
 		rep, err := e.Run(context.Background(), opts)
 		if err != nil {

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+)
+
+// The corpus experiment replays the committed pathological-scenario corpus
+// (bench/corpus — scenarios discovered by cmd/nosq-tune) as regression
+// workloads, through exactly the scenario experiment's machinery: same sweep
+// engine, same per-(scenario, configuration, window) rows, same scope
+// derivation from canonical scenario content. It exists so the corpus runs as
+// a named registry entry in CI (nightly, through the fleet) rather than as a
+// loose shell loop over spec files.
+//
+// The corpus is read from Options.CorpusDir (default "bench/corpus", relative
+// to the process working directory). In a distributed run the leased JobSpec
+// carries no file contents, so every fleet worker loads the directory from
+// its *own* checkout — byte-identical replay across CLI, server, and fleet
+// therefore requires the nodes to share the same corpus revision, which CI
+// guarantees by running all three from one checkout.
+
+// DefaultCorpusDir is where the committed corpus lives, relative to the
+// repository root.
+const DefaultCorpusDir = "bench/corpus"
+
+func init() {
+	Register(funcExperiment{
+		name: "corpus",
+		desc: "committed pathological-scenario corpus (bench/corpus) replayed as regression workloads",
+		run: func(ctx context.Context, opts Options) (*Report, error) {
+			dir := opts.CorpusDir
+			if dir == "" {
+				dir = DefaultCorpusDir
+			}
+			entries, err := corpus.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			entries, err = filterEntries(entries, opts.Benchmarks)
+			if err != nil {
+				return nil, err
+			}
+			scns := corpus.Scenarios(entries)
+			scope := scenarioScope(scns)
+			tbl, rows, sum, err := scenarioExperiment(ctx, opts, scns, scope)
+			if err != nil {
+				return nil, err
+			}
+			rep := report("corpus", tbl, rows, sum)
+			names := make([]string, len(entries))
+			for i, e := range entries {
+				names[i] = e.Name
+			}
+			rep.AddMeta("corpus-dir", dir)
+			rep.AddMeta("scenarios", strings.Join(names, ","))
+			rep.AddMeta("scenario-scope", scope)
+			return rep, nil
+		},
+	})
+}
+
+// filterEntries restricts the corpus to the named scenarios (nil = all),
+// preserving corpus order.
+func filterEntries(entries []corpus.Entry, names []string) ([]corpus.Entry, error) {
+	if len(names) == 0 {
+		return entries, nil
+	}
+	byName := make(map[string]corpus.Entry, len(entries))
+	known := make([]string, len(entries))
+	for i, e := range entries {
+		byName[e.Name] = e
+		known[i] = e.Name
+	}
+	out := make([]corpus.Entry, 0, len(names))
+	for _, n := range names {
+		e, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no corpus entry named %q (known: %s)",
+				n, strings.Join(known, ", "))
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -11,6 +11,20 @@
 // StoreSets scheduling, speculative memory bypassing, the NoSQ bypassing
 // predictor, delay, SVW-filtered in-order load re-execution, and the
 // lengthened NoSQ commit pipeline — are modelled structurally.
+//
+// Two execution engines run that model. A solo Simulator steps one
+// (trace, configuration) pair cycle by cycle. Batch is the config-parallel
+// engine: all configurations of one benchmark replay a single shared
+// recorded trace (emu.Trace plus a pre-decoded TraceMeta) in interleaved
+// instruction quanta, so the trace and its metadata are streamed through
+// the cache once per benchmark instead of once per configuration, and the
+// event-driven issue scheduler (sched.go) replaces the oldest-first scan.
+// Batching is a pure execution strategy: every member performs exactly the
+// per-cycle step sequence of a solo Simulator, so its statistics are
+// bit-identical to a solo run of the same pair — the property the CI
+// bit-identity job enforces. The policy deciding which pairs are grouped
+// into a batch lives in internal/experiments; the off switches are the
+// CLIs' -no-batch flag and the NOSQ_NO_BATCH environment variable.
 package pipeline
 
 import (

@@ -1,0 +1,103 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// mutationParents is a spread of starting points covering every pattern kind
+// and both nil and explicit mixes.
+func mutationParents() []workload.Scenario {
+	parents := append([]workload.Scenario(nil), workload.StressScenarios()...)
+	parents = append(parents,
+		workload.Scenario{Name: "p/default", Iterations: 256},
+		workload.Scenario{
+			Name:          "p/knobs",
+			Iterations:    96,
+			Mix:           &workload.SlotMix{IndepPct: 26, FullCommPct: 42, PartialPct: 32},
+			StoreDistance: workload.DistanceBeyondPredictor,
+			PartialShape:  workload.ShapeSigned,
+			ErraticPer10k: 400,
+			FootprintKB:   1024,
+			FPHeavy:       true,
+			BranchEntropy: 0.75,
+		},
+	)
+	return parents
+}
+
+// TestMutateDeterminism is the reproducibility contract of the whole search:
+// the same seed applied to the same parent spec must produce the
+// byte-identical child — same content hash, same delta description.
+func TestMutateDeterminism(t *testing.T) {
+	for _, parent := range mutationParents() {
+		for seed := uint64(1); seed <= 64; seed++ {
+			a, descA := Mutate(parent, seed)
+			b, descB := Mutate(parent, seed)
+			if a.Hash() != b.Hash() {
+				t.Fatalf("%s seed %d: child hashes differ: %s != %s", parent.Name, seed, a.Hash(), b.Hash())
+			}
+			if descA != descB {
+				t.Fatalf("%s seed %d: mutation descriptions differ: %q != %q", parent.Name, seed, descA, descB)
+			}
+			if string(a.Canonical()) != string(b.Canonical()) {
+				t.Fatalf("%s seed %d: canonical forms differ", parent.Name, seed)
+			}
+		}
+	}
+}
+
+// TestMutateAlwaysValid walks long mutation chains from every parent and
+// requires each child to pass scenario validation — the operators must stay
+// inside Validate's envelope by construction, since the search loop performs
+// no rejection sampling.
+func TestMutateAlwaysValid(t *testing.T) {
+	for _, parent := range mutationParents() {
+		s := parent
+		for step := 0; step < 200; step++ {
+			child, desc := Mutate(s, mix64(7, uint64(step), 0))
+			if err := child.Validate(); err != nil {
+				t.Fatalf("%s step %d (%s): invalid child: %v", parent.Name, step, desc, err)
+			}
+			s = child
+		}
+	}
+}
+
+// TestMutateDoesNotAliasParent ensures the child's mix is a copy: a mutation
+// must never write through the parent's Mix pointer, or corpus entries would
+// drift after selection.
+func TestMutateDoesNotAliasParent(t *testing.T) {
+	parent := workload.Scenario{
+		Name: "p/alias", Iterations: 100,
+		Mix: &workload.SlotMix{IndepPct: 50, FullCommPct: 50},
+	}
+	before := parent.Hash()
+	for seed := uint64(1); seed <= 64; seed++ {
+		Mutate(parent, seed)
+	}
+	if parent.Hash() != before {
+		t.Fatal("Mutate modified its parent")
+	}
+}
+
+// TestMutateCoversOperators checks that across seeds the operator choice
+// actually varies — a quiet bias to one operator would silently shrink the
+// search space.
+func TestMutateCoversOperators(t *testing.T) {
+	parent := workload.Scenario{Name: "p/default", Iterations: 256}
+	kinds := map[string]bool{}
+	for seed := uint64(1); seed <= 256; seed++ {
+		_, desc := Mutate(parent, seed)
+		for _, prefix := range []string{"mix:", "store_distance:", "partial_shape:", "erratic_per_10k:",
+			"footprint_kb:", "fp_heavy:", "branch_entropy:", "iterations:", "pattern:"} {
+			if len(desc) >= len(prefix) && desc[:len(prefix)] == prefix {
+				kinds[prefix] = true
+			}
+		}
+	}
+	if len(kinds) < 9 {
+		t.Errorf("256 seeds exercised only %d of 9 operators: %v", len(kinds), kinds)
+	}
+}

@@ -1,0 +1,127 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/workload"
+)
+
+// committedCorpusDir is the repository's committed corpus, relative to this
+// package directory.
+const committedCorpusDir = "../../bench/corpus"
+
+// TestCommittedCorpusReplaysRecordedScores is the corpus's regression
+// contract: every committed entry, re-evaluated in its recorded evaluation
+// cell, must reproduce its recorded objective score. The simulator is
+// bit-deterministic, so the tolerance only absorbs float formatting — a
+// drifting score means the simulator's behaviour changed and the entry's
+// provenance (and likely the paper-reproduction metrics) no longer hold.
+func TestCommittedCorpusReplaysRecordedScores(t *testing.T) {
+	entries, err := corpus.LoadDir(committedCorpusDir)
+	if err != nil {
+		t.Fatalf("committed corpus unreadable (run nosq-tune to regenerate): %v", err)
+	}
+	eval := LocalEvaluator{Parallelism: 2}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			if got := filepath.Base(e.Filename()); got != e.Filename() || got == "" {
+				t.Fatalf("bad canonical filename %q", e.Filename())
+			}
+			obj, err := ObjectiveByName(e.Provenance.Objective)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := eval.Evaluate(context.Background(), e.Scenario, EvalSettings{
+				Config:         e.Provenance.Config,
+				BaselineConfig: e.Provenance.BaselineConfig,
+				Window:         e.Provenance.Window,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := obj.Score(m)
+			if !closeEnough(got, e.Provenance.Score) {
+				t.Errorf("replayed %s score %v, recorded %v", obj.Name, got, e.Provenance.Score)
+			}
+			if got <= e.Provenance.StressBest {
+				t.Errorf("entry no longer beats its recorded stress best: %v <= %v", got, e.Provenance.StressBest)
+			}
+		})
+	}
+}
+
+// TestCommittedCorpusBeatsStressSuite recomputes the stress-suite best from
+// scratch for each objective present in the corpus — the acceptance property
+// that discovered entries exceed every *current* built-in stress scenario,
+// not just the snapshot recorded at discovery time.
+func TestCommittedCorpusBeatsStressSuite(t *testing.T) {
+	entries, err := corpus.LoadDir(committedCorpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := LocalEvaluator{Parallelism: 2}
+
+	// One stress-suite evaluation per distinct (objective, cell), shared by
+	// that objective's entries.
+	type cell struct {
+		objective string
+		window    int
+		iters     int
+	}
+	best := map[cell]float64{}
+	for _, e := range entries {
+		p := e.Provenance
+		if p.SearchIterations == 0 {
+			t.Fatalf("%s: provenance lacks search_iterations; cannot recompute the stress best", e.Name)
+		}
+		c := cell{p.Objective, p.Window, p.SearchIterations}
+		if _, done := best[c]; done {
+			continue
+		}
+		obj, err := ObjectiveByName(p.Objective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := -1.0
+		for _, s := range workload.StressScenarios() {
+			s.Iterations = p.SearchIterations
+			m, err := eval.Evaluate(context.Background(), s, EvalSettings{
+				Config:         p.Config,
+				BaselineConfig: p.BaselineConfig,
+				Window:         p.Window,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if score := obj.Score(m); score > top {
+				top = score
+			}
+		}
+		best[c] = top
+	}
+	for _, e := range entries {
+		p := e.Provenance
+		c := cell{p.Objective, p.Window, p.SearchIterations}
+		if !closeEnough(best[c], p.StressBest) {
+			t.Errorf("%s: recomputed stress best %v, recorded %v", e.Name, best[c], p.StressBest)
+		}
+		if p.Score <= best[c] {
+			t.Errorf("%s: recorded score %v does not beat the recomputed stress best %v", e.Name, p.Score, best[c])
+		}
+	}
+}
+
+// closeEnough compares scores with a relative tolerance absorbing only float
+// round-trips, never behavioural drift.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

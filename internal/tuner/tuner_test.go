@@ -1,0 +1,181 @@
+package tuner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// tinyConfig is a search budget small enough for unit tests (a couple of
+// seconds of simulation) but large enough to exercise selection, memoization,
+// and pruning.
+func tinyConfig(obj Objective) Config {
+	return Config{
+		Objective:   obj,
+		Settings:    EvalSettings{Config: "nosq-delay", Window: 128},
+		Seed:        42,
+		Generations: 2,
+		Population:  4,
+		CorpusSize:  5,
+		Iterations:  32,
+	}
+}
+
+func mustObjective(t *testing.T, name string) Objective {
+	t.Helper()
+	obj, err := ObjectiveByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestRunDeterministic runs the same tiny search twice through the real local
+// evaluator and requires identical corpora: same scenarios, same hashes, same
+// scores, same order. Concurrency may reorder wall-clock work but never
+// results.
+func TestRunDeterministic(t *testing.T) {
+	cfg := tinyConfig(mustObjective(t, "flush-rate"))
+	a, err := Run(context.Background(), cfg, LocalEvaluator{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg, LocalEvaluator{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Corpus) != len(b.Corpus) {
+		t.Fatalf("corpus sizes differ: %d != %d", len(a.Corpus), len(b.Corpus))
+	}
+	for i := range a.Corpus {
+		ca, cb := a.Corpus[i], b.Corpus[i]
+		if ca.Hash != cb.Hash || ca.Score != cb.Score || ca.Mutation != cb.Mutation {
+			t.Errorf("corpus[%d] differs: (%s %v %q) != (%s %v %q)",
+				i, ca.Hash, ca.Score, ca.Mutation, cb.Hash, cb.Score, cb.Mutation)
+		}
+	}
+	if a.StressBest != b.StressBest || a.StressBestName != b.StressBestName {
+		t.Errorf("stress best differs: %v/%s != %v/%s", a.StressBest, a.StressBestName, b.StressBest, b.StressBestName)
+	}
+	if a.Evaluated != b.Evaluated || a.Memoized != b.Memoized {
+		t.Errorf("evaluation accounting differs: %d/%d != %d/%d", a.Evaluated, a.Memoized, b.Evaluated, b.Memoized)
+	}
+}
+
+// TestRunCorpusInvariants checks structural properties of a finished search:
+// best-first order, filled measurements, stress-best attribution, and
+// candidate lineage consistency.
+func TestRunCorpusInvariants(t *testing.T) {
+	res, err := Run(context.Background(), tinyConfig(mustObjective(t, "svw-miss")), LocalEvaluator{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	if res.StressBestName == "" || res.StressBest < 0 {
+		t.Errorf("stress best not attributed: %v %q", res.StressBest, res.StressBestName)
+	}
+	for i, c := range res.Corpus {
+		if i > 0 && c.Score > res.Corpus[i-1].Score {
+			t.Errorf("corpus not best-first at %d: %v after %v", i, c.Score, res.Corpus[i-1].Score)
+		}
+		if c.Hash != c.Scenario.Hash() {
+			t.Errorf("%s: stale hash", c.Scenario.Name)
+		}
+		if c.Measurement.Committed == 0 {
+			t.Errorf("%s: empty measurement", c.Scenario.Name)
+		}
+		if c.Generation > 0 {
+			if c.Parent == "" || c.Mutation == "" || len(c.Lineage) == 0 {
+				t.Errorf("%s: bred candidate missing provenance: %+v", c.Scenario.Name, c)
+			}
+			if c.Lineage[len(c.Lineage)-1] != c.Mutation {
+				t.Errorf("%s: lineage tail %q != mutation %q", c.Scenario.Name, c.Lineage[len(c.Lineage)-1], c.Mutation)
+			}
+			if !strings.HasPrefix(c.Scenario.Name, "tuned/svw-miss/") {
+				t.Errorf("bred candidate named %q, want tuned/svw-miss/ prefix", c.Scenario.Name)
+			}
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	eval := LocalEvaluator{}
+	if _, err := Run(context.Background(), Config{}, eval); err == nil {
+		t.Error("missing objective should error")
+	}
+	cfg := tinyConfig(mustObjective(t, "ipc-gap"))
+	cfg.Settings.BaselineConfig = ""
+	if _, err := Run(context.Background(), cfg, eval); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("ipc-gap without a baseline should error, got %v", err)
+	}
+	cfg = tinyConfig(mustObjective(t, "flush-rate"))
+	cfg.Settings.Window = 0
+	if _, err := Run(context.Background(), cfg, eval); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestObjectiveScores(t *testing.T) {
+	m := Measurement{Committed: 10000, Flushes: 75, Reexecutions: 30, MisPer10k: 123.5, IPC: 0.6, BaselineIPC: 0.8}
+	cases := map[string]float64{
+		"flush-rate": 7.5,
+		"svw-miss":   3,
+		"mispred":    123.5,
+		"ipc-gap":    0.25,
+	}
+	for name, want := range cases {
+		obj := mustObjective(t, name)
+		if got := obj.Score(m); !closeEnough(got, want) {
+			t.Errorf("%s.Score = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ObjectiveByName("nope"); err == nil || !strings.Contains(err.Error(), "flush-rate") {
+		t.Errorf("unknown objective error should list known ones, got %v", err)
+	}
+	// Degenerate measurements must not divide by zero.
+	zero := Measurement{}
+	for _, obj := range Objectives() {
+		if got := obj.Score(zero); got != 0 {
+			t.Errorf("%s.Score(zero) = %v, want 0", obj.Name, got)
+		}
+	}
+}
+
+// TestMeasurementFromReportJSON feeds the exact JSON document a scenario job
+// report renders (via the real Report path) into the server evaluator's
+// parser and checks the round-trip, including the baseline row.
+func TestMeasurementFromReportJSON(t *testing.T) {
+	tbl := stats.NewTable("Scenario: raw measurements per (scenario, configuration, window)",
+		"scenario", "pattern", "config", "window", "cycles", "committed", "IPC",
+		"comm%", "bypassed", "delayed", "mispred/10k", "flushes", "D$ reads", "reexec")
+	tbl.AddRow("s", "profile", "nosq-delay", 128, uint64(1000), uint64(800), 0.8, 25.0,
+		uint64(10), uint64(2), 50.0, uint64(7), uint64(900), uint64(3))
+	tbl.AddRow("s", "profile", "assoc-sq-storesets", 128, uint64(900), uint64(800), 0.9, 25.0,
+		uint64(0), uint64(0), 0.0, uint64(0), uint64(880), uint64(0))
+	rep := &experiments.Report{Experiment: "scenario", Table: tbl}
+	doc, err := rep.Render(stats.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := measurementFromReportJSON([]byte(doc), EvalSettings{
+		Config: "nosq-delay", BaselineConfig: "assoc-sq-storesets", Window: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Measurement{Cycles: 1000, Committed: 800, IPC: 0.8, CommPct: 25, Bypassed: 10,
+		Delayed: 2, MisPer10k: 50, Flushes: 7, DCacheReads: 900, Reexecutions: 3, BaselineIPC: 0.9}
+	if m != want {
+		t.Errorf("parsed measurement %+v, want %+v", m, want)
+	}
+
+	// A report missing the target cell must error, not zero-fill.
+	if _, err := measurementFromReportJSON([]byte(doc), EvalSettings{Config: "perfect-smb", Window: 128}); err == nil {
+		t.Error("missing config row should error")
+	}
+}
