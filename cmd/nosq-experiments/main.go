@@ -15,6 +15,8 @@
 //	nosq-experiments -exp sweep -shards 4 -shard-index 2 -checkpoint s2.jsonl
 //	nosq-experiments -exp scenario              # built-in stress suite
 //	nosq-experiments -scenario myspec.json      # custom scenario spec file
+//	nosq-experiments -exp trace                 # recorded traces (bench/traces)
+//	nosq-experiments -trace-dir my/traces       # recorded traces elsewhere
 package main
 
 import (
@@ -60,6 +62,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint file: finished pairs are recorded and never re-run; entries are scoped per experiment, so one file may be shared")
 		scenario   = flag.String("scenario", "", "workload scenario spec file (JSON) to run through the scenario experiment")
 		corpusDir  = flag.String("corpus-dir", "", "corpus experiment only: directory of committed scenario entries (default: bench/corpus)")
+		traceDir   = flag.String("trace-dir", "", "trace experiment only: directory of recorded trace entries (default: bench/traces)")
 		noBatch    = flag.Bool("no-batch", false, "disable config-parallel batch simulation (results are identical either way; NOSQ_NO_BATCH=1 has the same effect)")
 		version    = flag.Bool("version", false, "print version information and exit")
 	)
@@ -96,6 +99,7 @@ func main() {
 		Checkpoint:  *checkpoint,
 		NoBatch:     *noBatch,
 		CorpusDir:   *corpusDir,
+		TraceDir:    *traceDir,
 	}
 	if *corpusDir != "" {
 		// A corpus directory implies the corpus experiment, mirroring how
@@ -104,6 +108,15 @@ func main() {
 			*exp = "corpus"
 		} else if *exp != "corpus" {
 			fmt.Fprintf(os.Stderr, "-corpus-dir only applies to the corpus experiment; drop -exp %s or use -exp corpus\n", *exp)
+			os.Exit(2)
+		}
+	}
+	if *traceDir != "" {
+		// A trace directory implies the trace experiment, the same way.
+		if *exp == "all" {
+			*exp = "trace"
+		} else if *exp != "trace" {
+			fmt.Fprintf(os.Stderr, "-trace-dir only applies to the trace experiment; drop -exp %s or use -exp trace\n", *exp)
 			os.Exit(2)
 		}
 	}
@@ -144,11 +157,11 @@ func main() {
 
 	var selected []experiments.Experiment
 	if *exp == "all" {
-		// "all" means every self-contained experiment: the corpus replay
-		// depends on a committed corpus directory on disk, so it only runs
-		// when named explicitly (-exp corpus or -corpus-dir).
+		// "all" means every self-contained experiment: the corpus and trace
+		// replays depend on committed directories on disk, so they only run
+		// when named explicitly (-exp corpus/-corpus-dir, -exp trace/-trace-dir).
 		for _, e := range experiments.All() {
-			if e.Name() != "corpus" {
+			if e.Name() != "corpus" && e.Name() != "trace" {
 				selected = append(selected, e)
 			}
 		}

@@ -1,0 +1,193 @@
+// Command nosq-trace manages recorded program traces — the portable .nsqt
+// files the trace experiment replays (see internal/traceio for the format).
+// It records new traces from the deterministic workload generators, inspects
+// existing files, and verifies committed corpora against their provenance
+// manifests.
+//
+// Exactly one mode flag is given per invocation:
+//
+//	nosq-trace -record gzip -iters 400            # workload profile -> bench/traces
+//	nosq-trace -record stress/phase-flip          # built-in stress scenario
+//	nosq-trace -scenario myspec.json -out /tmp/t  # scenario spec file
+//	nosq-trace -info bench/traces/gzip-0123456789abcdef.nsqt
+//	nosq-trace -verify bench/traces               # whole corpus, full decode
+//
+// Recording writes the trace file and its manifest side by side, named
+// <slug>-<hash16> after the trace's content hash, and prints the ref name —
+// the identity job specs and reports use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/emu"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/program"
+	"repro/internal/traceio"
+	"repro/internal/workload"
+)
+
+func fatalf(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record the named workload profile or built-in stress scenario (e.g. gzip, stress/phase-flip)")
+		scenario = flag.String("scenario", "", "record from a workload scenario spec file (JSON)")
+		iters    = flag.Int("iters", 0, "recording only: workload iterations (0 = the workload default)")
+		maxInsts = flag.Uint64("max-insts", 0, "recording only: stop the recording after N dynamic instructions (0 = run to halt)")
+		out      = flag.String("out", experiments.DefaultTraceDir, "recording only: directory to write the trace and its manifest into")
+		info     = flag.String("info", "", "decode the given .nsqt file and print its summary")
+		verify   = flag.String("verify", "", "fully verify a committed trace file or directory against its manifests")
+		version  = flag.Bool("version", false, "print version information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "nosq-trace")
+		return
+	}
+
+	modes := 0
+	for _, set := range []bool{*record != "", *scenario != "", *info != "", *verify != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fatalf(2, "exactly one of -record, -scenario, -info, -verify is required (see -h)")
+	}
+	if *iters < 0 {
+		fatalf(2, "-iters must be non-negative, got %d", *iters)
+	}
+
+	switch {
+	case *record != "" || *scenario != "":
+		runRecord(*record, *scenario, *iters, *maxInsts, *out)
+	case *info != "":
+		runInfo(*info)
+	case *verify != "":
+		runVerify(*verify)
+	}
+}
+
+// generate builds the program to record: a scenario spec file, a built-in
+// stress scenario, or a workload profile — the same name resolution the
+// experiment subsystem applies, so a recorded trace replays exactly what a
+// live run of the same name would simulate.
+func generate(record, scenarioFile string, iters int) (*program.Program, string, error) {
+	wopts := workload.Options{Iterations: iters}
+	if scenarioFile != "" {
+		s, err := workload.LoadScenarioFile(scenarioFile)
+		if err != nil {
+			return nil, "", err
+		}
+		p, err := workload.GenerateScenario(s, wopts)
+		return p, fmt.Sprintf("scenario:%s@%.16s iters=%d", s.Name, s.Hash(), iters), err
+	}
+	if s, ok := workload.StressScenarioByName(record); ok {
+		p, err := workload.GenerateScenario(s, wopts)
+		return p, fmt.Sprintf("scenario:%s@%.16s iters=%d", s.Name, s.Hash(), iters), err
+	}
+	p, err := workload.Generate(record, wopts)
+	return p, fmt.Sprintf("workload:%s iters=%d", record, iters), err
+}
+
+func runRecord(record, scenarioFile string, iters int, maxInsts uint64, out string) {
+	p, generator, err := generate(record, scenarioFile, iters)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+	tr, err := emu.RecordTrace(p, maxInsts)
+	if err != nil {
+		fatalf(1, "recording %s: %v", p.Name, err)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatalf(1, "%v", err)
+	}
+	// The final filename embeds the content hash, which only exists after
+	// encoding: write under a temporary name, then rename into place.
+	tmp, err := os.CreateTemp(out, ".recording-*.nsqt")
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	tmpName := tmp.Name()
+	tmp.Close()
+	defer os.Remove(tmpName)
+	// CreateTemp makes the file owner-only; committed traces are world-readable.
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		fatalf(1, "%v", err)
+	}
+	sum, err := traceio.WriteFile(tmpName, tr)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	m := traceio.NewManifest(sum, generator, "nosq-trace")
+	tracePath := filepath.Join(out, m.TraceFilename())
+	if err := os.Rename(tmpName, tracePath); err != nil {
+		fatalf(1, "%v", err)
+	}
+	if _, err := traceio.WriteEntry(out, m); err != nil {
+		fatalf(1, "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %s: %d insts (%d loads, %d stores, %d statics) -> %s\n",
+		sum.Name, sum.Insts, sum.Loads, sum.Stores, sum.Statics, tracePath)
+	// The ref name goes to stdout alone, so scripts can capture the identity
+	// to put in a job spec.
+	fmt.Println(m.RefName())
+}
+
+func runInfo(path string) {
+	tr, sum, err := traceio.ReadFile(path)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	fmt.Printf("file:    %s\n", path)
+	fmt.Printf("program: %s\n", tr.Name())
+	fmt.Printf("format:  %s v%d, %s, %d-byte words\n", traceio.Magic, traceio.Version, traceio.ISA, traceio.WordBytes)
+	fmt.Printf("insts:   %d (%d loads, %d stores, %d statics)\n", sum.Insts, sum.Loads, sum.Stores, sum.Statics)
+	fmt.Printf("sha256:  %s\n", sum.Hash)
+	if e, err := traceio.LoadEntry(path); err == nil {
+		fmt.Printf("ref:     %s\n", e.RefName())
+		if e.Generator != "" {
+			fmt.Printf("source:  %s (%s)\n", e.Generator, e.Tool)
+		}
+	}
+}
+
+func runVerify(path string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	var entries []traceio.Entry
+	if st.IsDir() {
+		entries, err = traceio.LoadDir(path)
+	} else {
+		var e traceio.Entry
+		e, err = traceio.LoadEntry(path)
+		entries = []traceio.Entry{e}
+	}
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	failed := 0
+	for _, e := range entries {
+		if err := e.Verify(); err != nil {
+			failed++
+			fmt.Printf("FAIL %s: %v\n", e.RefName(), err)
+			continue
+		}
+		fmt.Printf("ok   %s (%d insts)\n", e.RefName(), e.Insts)
+	}
+	if failed > 0 {
+		fatalf(1, "%d of %d trace(s) failed verification", failed, len(entries))
+	}
+	fmt.Fprintf(os.Stderr, "verified %d trace(s) under %s\n", len(entries), path)
+}

@@ -814,3 +814,160 @@ func TestCorpusEntryEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceCorpusEndToEnd is the acceptance test of the committed trace
+// corpus (bench/traces, recorded by nosq-trace): the trace experiment
+// replays every committed trace through all three execution surfaces — the
+// nosq-experiments CLI, a single-node server job, and a distributed fleet —
+// and the reports must be byte-identical in both machine formats. A
+// re-submission of the identical spec must be served entirely from the
+// result cache. Like corpus jobs, every process runs from the repository
+// root: the trace directory is resolved against each node's own checkout,
+// never shipped over the wire.
+//
+// Run with: go test -tags integration ./cmd/nosq-worker -run TestTraceCorpusEndToEnd
+func TestTraceCorpusEndToEnd(t *testing.T) {
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(repoRoot, "bench", "traces")); err != nil {
+		t.Fatalf("committed trace corpus missing: %v", err)
+	}
+
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "nosq-server")
+	workerBin := filepath.Join(dir, "nosq-worker")
+	expBin := filepath.Join(dir, "nosq-experiments")
+	traceBin := filepath.Join(dir, "nosq-trace")
+	for bin, pkg := range map[string]string{
+		serverBin: "../nosq-server", workerBin: ".",
+		expBin: "../nosq-experiments", traceBin: "../nosq-trace",
+	} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	configs := "nosq-delay,perfect-smb"
+
+	// The committed corpus must verify — full decode, hashes against the
+	// provenance manifests — before anything replays it.
+	verify := exec.Command(traceBin, "-verify", "bench/traces")
+	verify.Dir = repoRoot
+	if out, err := verify.CombinedOutput(); err != nil {
+		t.Fatalf("nosq-trace -verify bench/traces: %v\n%s", err, out)
+	}
+
+	// Surface 1: the CLI, from the repository root with the default trace
+	// directory — exactly how CI's nightly regression run invokes it.
+	cliJSON := filepath.Join(dir, "cli.json")
+	cliCSV := filepath.Join(dir, "cli.csv")
+	for out, format := range map[string]string{cliJSON: "json", cliCSV: "csv"} {
+		cmd := exec.Command(expBin, "-exp", "trace", "-configs", configs, "-format", format, "-out", out)
+		cmd.Dir = repoRoot
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("CLI trace run (%s): %v\n%s", format, err, o)
+		}
+	}
+	wantJSON, err := os.ReadFile(cliJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(cliCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := simapi.JobSpec{
+		Experiment: "trace",
+		Source:     simclient.TraceSource(), // all committed traces
+		Configs:    strings.Split(configs, ","),
+	}
+	fetch := func(c *simclient.Client, id string) (jsonRep, csvRep []byte) {
+		t.Helper()
+		j, err := c.Report(ctx, id, "json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.Report(ctx, id, "csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, v
+	}
+
+	// Surface 2: a single-node server job, server running from the repo root.
+	soloURL, soloStop := startServerAt(t, repoRoot, serverBin, "-workers", "1")
+	soloC := simclient.New(soloURL, nil)
+	soloInfo, err := soloC.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo, err = soloC.Wait(ctx, soloInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	if soloInfo.State != simapi.StateDone || soloInfo.ExecutedPairs == 0 {
+		t.Fatalf("single-node trace job = %+v", soloInfo)
+	}
+	soloJSON, soloCSV := fetch(soloC, soloInfo.ID)
+
+	// An identical re-submission must be a pure cache hit: the traces were
+	// already decoded and simulated, so not a single pair executes again.
+	again, err := soloC.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err = soloC.Wait(ctx, again.ID); err != nil {
+		t.Fatal(err)
+	}
+	if again.State != simapi.StateDone || again.ExecutedPairs != 0 ||
+		again.CachedPairs != soloInfo.ExecutedPairs {
+		t.Fatalf("identical trace re-run = %+v, want %d pairs all cache-served", again, soloInfo.ExecutedPairs)
+	}
+	soloStop()
+
+	// Surface 3: a distributed fleet, every node running from the repo root.
+	coordURL, _ := startServerAt(t, repoRoot, serverBin, "-workers", "1")
+	c := simclient.New(coordURL, nil)
+	startWorkerAt(t, repoRoot, workerBin, coordURL, "trace-a")
+	startWorkerAt(t, repoRoot, workerBin, coordURL, "trace-b")
+	waitRemoteWorkers(t, c, 2)
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err = c.Wait(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != simapi.StateDone {
+		t.Fatalf("distributed trace job = %+v", info)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RemotePairs == 0 {
+		t.Error("no pairs executed remotely; the fleet was bypassed")
+	}
+	distJSON, distCSV := fetch(c, info.ID)
+
+	for _, cmp := range []struct {
+		surface    string
+		gotJ, gotC []byte
+	}{
+		{"single-node server", soloJSON, soloCSV},
+		{"distributed fleet", distJSON, distCSV},
+	} {
+		if !bytes.Equal(wantJSON, cmp.gotJ) {
+			t.Errorf("%s JSON report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantJSON, cmp.surface, cmp.gotJ)
+		}
+		if !bytes.Equal(wantCSV, cmp.gotC) {
+			t.Errorf("%s CSV report differs from the CLI run:\n--- CLI ---\n%s\n--- %s ---\n%s",
+				cmp.surface, wantCSV, cmp.surface, cmp.gotC)
+		}
+	}
+}

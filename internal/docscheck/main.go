@@ -38,12 +38,14 @@ import (
 // binaries are the user-facing commands whose -help output is diffed against
 // README.md's command-line reference tables.
 var binaries = []string{
-	"nosqsim", "nosq-experiments", "nosq-server", "nosq-worker", "nosq-bench", "nosq-tune",
+	"nosqsim", "nosq-experiments", "nosq-server", "nosq-worker", "nosq-bench", "nosq-tune", "nosq-trace",
 }
 
 // docs are the markdown documents whose links are checked.
 var docs = []string{
-	"README.md", "DESIGN.md", "ROADMAP.md", filepath.Join("bench", "corpus", "README.md"),
+	"README.md", "DESIGN.md", "ROADMAP.md",
+	filepath.Join("bench", "corpus", "README.md"),
+	filepath.Join("bench", "traces", "README.md"),
 }
 
 func main() {

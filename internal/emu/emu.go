@@ -149,6 +149,61 @@ func (t *writerTable) lookup(addr uint64) *byteSource {
 	return src
 }
 
+// resolve computes the oracle dependence of a load at addr/size on older
+// stores by inspecting the per-byte last-writer map. It is shared by the
+// live emulator and by TraceBuilder, which replays recorded instruction
+// streams — both must derive identical Dependence records from the same
+// store history.
+func (t *writerTable) resolve(addr uint64, size uint8) Dependence {
+	var dep Dependence
+	var youngest byteSource
+	sources := 0
+	uncovered := false
+	// Accesses are at most 8 bytes, so the distinct source SSNs fit in a
+	// fixed array; no per-load allocation.
+	var seen [8]uint64
+	for i := uint64(0); i < uint64(size); i++ {
+		src := t.lookup(addr + i)
+		if src == nil {
+			uncovered = true
+			continue
+		}
+		known := false
+		for j := 0; j < sources; j++ {
+			if seen[j] == src.ssn {
+				known = true
+				break
+			}
+		}
+		if !known {
+			seen[sources] = src.ssn
+			sources++
+		}
+		if src.ssn > youngest.ssn {
+			youngest = *src
+		}
+	}
+	if sources == 0 {
+		return dep
+	}
+	dep.Exists = true
+	dep.SSN = youngest.ssn
+	dep.Seq = youngest.seq
+	dep.StorePC = youngest.pc
+	dep.StoreAddr = youngest.addr
+	dep.StoreSize = youngest.size
+	dep.StoreFPConv = youngest.fp
+	dep.MultiSource = sources > 1 || uncovered
+	if addr >= youngest.addr {
+		dep.Shift = uint8(addr - youngest.addr)
+	} else {
+		// Load starts before the store's first byte: necessarily multi-source.
+		dep.MultiSource = true
+	}
+	dep.PartialWord = size < 8 || youngest.size < 8
+	return dep
+}
+
 // Emulator executes a program in program order.
 type Emulator struct {
 	prog   *program.Program
@@ -445,51 +500,5 @@ func evalBranch(fn isa.BrFn, v uint64) bool {
 // resolveDependence computes the oracle dependence of a load on older stores
 // by inspecting the per-byte last-writer map.
 func (e *Emulator) resolveDependence(addr uint64, size uint8) Dependence {
-	var dep Dependence
-	var youngest byteSource
-	sources := 0
-	uncovered := false
-	// Accesses are at most 8 bytes, so the distinct source SSNs fit in a
-	// fixed array; no per-load allocation.
-	var seen [8]uint64
-	for i := uint64(0); i < uint64(size); i++ {
-		src := e.lastWriter.lookup(addr + i)
-		if src == nil {
-			uncovered = true
-			continue
-		}
-		known := false
-		for j := 0; j < sources; j++ {
-			if seen[j] == src.ssn {
-				known = true
-				break
-			}
-		}
-		if !known {
-			seen[sources] = src.ssn
-			sources++
-		}
-		if src.ssn > youngest.ssn {
-			youngest = *src
-		}
-	}
-	if sources == 0 {
-		return dep
-	}
-	dep.Exists = true
-	dep.SSN = youngest.ssn
-	dep.Seq = youngest.seq
-	dep.StorePC = youngest.pc
-	dep.StoreAddr = youngest.addr
-	dep.StoreSize = youngest.size
-	dep.StoreFPConv = youngest.fp
-	dep.MultiSource = sources > 1 || uncovered
-	if addr >= youngest.addr {
-		dep.Shift = uint8(addr - youngest.addr)
-	} else {
-		// Load starts before the store's first byte: necessarily multi-source.
-		dep.MultiSource = true
-	}
-	dep.PartialWord = size < 8 || youngest.size < 8
-	return dep
+	return e.lastWriter.resolve(addr, size)
 }

@@ -173,7 +173,7 @@ func TestRunGroupScalarFallback(t *testing.T) {
 		{index: 0, benchmark: "gzip", key: "ok", cfg: cfg},
 		{index: 1, benchmark: "gzip", key: "bad", cfg: bad},
 	}
-	traces := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+	traces := newTraceCache(map[string]*program.Program{"gzip": prog}, nil, pending)
 	results := runGroup(sweepGroup{benchmark: "gzip", jobs: pending}, traces, Options{})
 	if len(results) != 2 {
 		t.Fatalf("got %d results, want 2", len(results))

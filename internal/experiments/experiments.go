@@ -29,6 +29,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/pipeline"
 	"repro/internal/program"
 	"repro/internal/stats"
@@ -119,6 +120,16 @@ type Options struct {
 	// revision from its own checkout.
 	CorpusDir string
 
+	// TraceDir points the trace experiment at a directory of recorded trace
+	// entries — *.nsqt files with their provenance manifests, as written by
+	// cmd/nosq-trace ("" = DefaultTraceDir, resolved relative to the process
+	// working directory). Other experiments ignore it. Like CorpusDir it is
+	// deliberately absent from the job-spec wire format: a distributed trace
+	// run requires every node to read the same trace corpus from its own
+	// checkout, and the experiment scope's content hash over every trace
+	// file guarantees the nodes agree on what they replayed.
+	TraceDir string
+
 	// Scenario gives the scenario experiment an inline workload spec to run
 	// instead of the built-in stress suite. The scenario's canonicalized
 	// content hash becomes part of the experiment scope — and therefore of
@@ -132,6 +143,13 @@ type Options struct {
 	// built-in stress suite) before entering the sweep engine; it is not
 	// caller-configurable.
 	scenarios map[string]workload.Scenario
+
+	// traceLoaders maps benchmark names to recorded-trace loaders. The trace
+	// experiment populates it before entering the sweep engine: a benchmark
+	// with a loader skips program generation and live emulation entirely —
+	// its shared trace comes from decoding the recorded file instead of
+	// RecordTrace. Not caller-configurable.
+	traceLoaders map[string]func() (*emu.Trace, error)
 
 	// scope namespaces checkpoint entries by experiment, so one checkpoint
 	// file shared across experiments (sequential runs, -exp all) can never

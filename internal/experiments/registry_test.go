@@ -15,7 +15,7 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep", "scenario", "corpus"}
+	want := []string{"table5", "fig2", "fig3", "fig4", "fig5cap", "fig5hist", "sweep", "scenario", "corpus", "trace"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -71,6 +71,12 @@ func TestEveryExperimentRendersEveryFormat(t *testing.T) {
 			opts.Configs = []string{"nosq-delay"}
 			opts.CorpusDir = writeTestCorpus(t)
 			wantName = "tuned/test/entry"
+		}
+		if e.Name() == "trace" {
+			// The trace experiment reads recorded traces from a directory.
+			opts.Benchmarks = nil
+			opts.Configs = []string{"nosq-delay"}
+			opts.TraceDir, wantName = writeTestTraces(t)
 		}
 		rep, err := e.Run(context.Background(), opts)
 		if err != nil {

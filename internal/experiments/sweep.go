@@ -46,10 +46,10 @@ type traceEntry struct {
 	metaErr  error
 }
 
-func newTraceCache(progs map[string]*program.Program, pending []sweepJob) *traceCache {
+func newTraceCache(progs map[string]*program.Program, loaders map[string]func() (*emu.Trace, error), pending []sweepJob) *traceCache {
 	c := &traceCache{
-		entries: make(map[string]*traceEntry, len(progs)),
-		left:    make(map[string]int, len(progs)),
+		entries: make(map[string]*traceEntry, len(progs)+len(loaders)),
+		left:    make(map[string]int, len(progs)+len(loaders)),
 	}
 	for b := range progs {
 		prog := progs[b]
@@ -58,6 +58,16 @@ func newTraceCache(progs map[string]*program.Program, pending []sweepJob) *trace
 		// that share a benchmark block until its trace exists and record it
 		// exactly once.
 		e.record = func() { e.trace, e.err = emu.RecordTrace(prog, 0) }
+		c.entries[b] = e
+	}
+	// Trace-backed benchmarks (the trace experiment) have no program: their
+	// shared trace comes from decoding a recorded file, under the same
+	// once.Do so concurrent configurations of one trace decode it exactly
+	// once.
+	for b := range loaders {
+		load := loaders[b]
+		e := &traceEntry{}
+		e.record = func() { e.trace, e.err = load() }
 		c.entries[b] = e
 	}
 	for _, j := range pending {
@@ -555,10 +565,20 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 	// Generate programs up front (cheap, single-threaded, deterministic),
 	// only for benchmarks that still have pending work. Each benchmark's
 	// dynamic instruction trace is then recorded once, on first use, and
-	// shared read-only by every simulation of that benchmark.
+	// shared read-only by every simulation of that benchmark. Trace-backed
+	// benchmarks have no program to generate — their recorded file is the
+	// trace — so they only contribute loaders.
 	progs := make(map[string]*program.Program, len(benchmarks))
+	loaders := make(map[string]func() (*emu.Trace, error), len(opts.traceLoaders))
 	for _, j := range pending {
 		if _, ok := progs[j.benchmark]; ok {
+			continue
+		}
+		if _, ok := loaders[j.benchmark]; ok {
+			continue
+		}
+		if load, ok := opts.traceLoaders[j.benchmark]; ok {
+			loaders[j.benchmark] = load
 			continue
 		}
 		p, err := opts.generateProgram(j.benchmark)
@@ -567,7 +587,7 @@ func runSweep(ctx context.Context, benchmarks []string, cfgs map[string]pipeline
 		}
 		progs[j.benchmark] = p
 	}
-	traces := newTraceCache(progs, pending)
+	traces := newTraceCache(progs, loaders, pending)
 
 	// Partition the pending pairs into execution groups: same-benchmark,
 	// same-geometry pairs run config-parallel as one batch over the shared

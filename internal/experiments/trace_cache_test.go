@@ -24,7 +24,7 @@ func TestTraceCacheConcurrentGetRelease(t *testing.T) {
 	for i := range pending {
 		pending[i] = sweepJob{index: i, benchmark: "gzip"}
 	}
-	c := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+	c := newTraceCache(map[string]*program.Program{"gzip": prog}, nil, pending)
 
 	traces := make([]interface{}, jobs)
 	var wg sync.WaitGroup
@@ -115,7 +115,7 @@ func TestTraceCacheConcurrentMetaSharing(t *testing.T) {
 	for i := range pending {
 		pending[i] = sweepJob{index: i, benchmark: "gzip"}
 	}
-	c := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+	c := newTraceCache(map[string]*program.Program{"gzip": prog}, nil, pending)
 
 	metas := make([]interface{}, jobs)
 	var wg sync.WaitGroup
@@ -171,7 +171,7 @@ func TestTraceCacheMetaPropagatesRecordError(t *testing.T) {
 // TestTraceCacheUnknownBenchmark: a benchmark with no entry is an error, not
 // a panic — the sweep engine treats it as a failed job.
 func TestTraceCacheUnknownBenchmark(t *testing.T) {
-	c := newTraceCache(nil, nil)
+	c := newTraceCache(nil, nil, nil)
 	if _, err := c.get("nonesuch"); err == nil {
 		t.Fatal("get of unknown benchmark should error")
 	}
@@ -186,7 +186,7 @@ func TestTraceCacheReleaseKeepsSharedEntryAlive(t *testing.T) {
 		t.Fatal(err)
 	}
 	pending := []sweepJob{{index: 0, benchmark: "gzip"}, {index: 1, benchmark: "gzip"}}
-	c := newTraceCache(map[string]*program.Program{"gzip": prog}, pending)
+	c := newTraceCache(map[string]*program.Program{"gzip": prog}, nil, pending)
 	first, err := c.get("gzip")
 	if err != nil {
 		t.Fatal(err)

@@ -30,13 +30,49 @@ func TerminalState(s string) bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Source kinds. A job's program source is a tagged union: a set of named
+// synthetic benchmarks, an inline scenario spec, or a set of recorded
+// traces. Unknown kinds are rejected at submission.
+const (
+	SourceBenchmark = "benchmark"
+	SourceScenario  = "scenario"
+	SourceTrace     = "trace"
+)
+
+// Source is a job's program source — what the experiment simulates, as
+// opposed to how (experiment, configs, windows). Exactly one kind applies:
+//
+//   - "benchmark": named synthetic workloads (Benchmarks; empty = the
+//     experiment's default set). The scenario and corpus experiments read
+//     the names as stress-scenario / corpus-entry selectors, exactly as the
+//     legacy benchmarks field always has.
+//   - "scenario": an inline declarative scenario spec (Scenario required).
+//   - "trace": recorded trace ref names to replay (Traces; empty = every
+//     trace under the run's trace directory). Ref names are
+//     content-addressed (<name>-<hash16>), so a spec pins trace bytes, not
+//     just a label.
+//
+// Legacy flat fields (JobSpec.Benchmarks / JobSpec.Scenario) still decode;
+// Normalize folds them into an equivalent Source, so both encodings carry
+// identical identity everywhere a spec is hashed.
+type Source struct {
+	Kind       string             `json:"kind"`
+	Benchmarks []string           `json:"benchmarks,omitempty"`
+	Scenario   *workload.Scenario `json:"scenario,omitempty"`
+	Traces     []string           `json:"traces,omitempty"`
+}
+
 // JobSpec is a submitted unit of work: one experiment run over a
-// (benchmark × configuration × window) grid. The zero value of every field
+// (source × configuration × window) grid. The zero value of every field
 // except Experiment means "the experiment's default".
 type JobSpec struct {
 	// Experiment is the registry name to run (table5, fig2, ..., sweep).
 	Experiment string `json:"experiment"`
-	// Benchmarks restricts the run to a subset of benchmark names.
+	// Source names the program source to simulate (nil = inferred from the
+	// legacy fields below by Normalize).
+	Source *Source `json:"source,omitempty"`
+	// Benchmarks is the legacy flat form of a benchmark source. New clients
+	// should set Source; specs carrying both are rejected.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Iterations is the synthetic workload length per benchmark.
 	Iterations int `json:"iterations,omitempty"`
@@ -46,50 +82,142 @@ type JobSpec struct {
 	// table/figure experiments, exactly as in experiments.Options).
 	Configs []string `json:"configs,omitempty"`
 	Windows []int    `json:"windows,omitempty"`
-	// Scenario carries an inline workload scenario spec for the scenario
-	// experiment (nil = the built-in stress suite). It travels with the spec
-	// everywhere the spec goes — dedup hashing, shard tasks leased to remote
-	// workers — and its canonicalized content hash is folded into the result
-	// cache's keys, so differing scenarios never collide there.
+	// Scenario is the legacy flat form of a scenario source. New clients
+	// should set Source; specs carrying both are rejected.
 	Scenario *workload.Scenario `json:"scenario,omitempty"`
 	// Priority orders the queue: higher runs first; equal priorities run in
 	// submission order.
 	Priority int `json:"priority,omitempty"`
 }
 
-// Options converts the spec to the experiment subsystem's option struct.
-func (s JobSpec) Options() experiments.Options {
-	return experiments.Options{
-		Iterations: s.Iterations,
-		MaxInsts:   s.MaxInsts,
-		Benchmarks: s.Benchmarks,
-		Configs:    s.Configs,
-		Windows:    s.Windows,
-		Scenario:   s.Scenario,
+// Normalize validates the spec's program source and rewrites it to the
+// canonical union form: Source set, the legacy flat fields cleared. Every
+// consumer that derives identity from a spec — the server's dedup hash, the
+// result cache, the WAL — normalizes first, which is what makes a legacy
+// flat submission and its union equivalent the *same job*: byte-identical
+// canonical encoding, therefore identical hashes.
+func (s *JobSpec) Normalize() error {
+	src := s.Source
+	if src == nil {
+		// Legacy flat spec: fold the fields into the equivalent union.
+		if s.Scenario != nil {
+			src = &Source{Kind: SourceScenario, Scenario: s.Scenario, Benchmarks: s.Benchmarks}
+		} else {
+			src = &Source{Kind: SourceBenchmark, Benchmarks: s.Benchmarks}
+		}
+	} else {
+		if len(s.Benchmarks) > 0 || s.Scenario != nil {
+			return fmt.Errorf("simapi: spec sets both source and legacy benchmarks/scenario fields")
+		}
+		switch src.Kind {
+		case SourceBenchmark:
+			if src.Scenario != nil || len(src.Traces) > 0 {
+				return fmt.Errorf("simapi: benchmark source must not carry scenario or traces")
+			}
+		case SourceScenario:
+			if src.Scenario == nil {
+				return fmt.Errorf("simapi: scenario source without a scenario spec")
+			}
+			if len(src.Traces) > 0 {
+				return fmt.Errorf("simapi: scenario source must not carry traces")
+			}
+		case SourceTrace:
+			if src.Scenario != nil || len(src.Benchmarks) > 0 {
+				return fmt.Errorf("simapi: trace source must not carry scenario or benchmarks")
+			}
+		default:
+			return fmt.Errorf("simapi: unknown source kind %q (known: %s, %s, %s)",
+				src.Kind, SourceBenchmark, SourceScenario, SourceTrace)
+		}
 	}
+	// Canonical form: a default benchmark source (no names) is represented as
+	// nil, so a bare legacy spec round-trips to the bytes it always encoded
+	// to and pre-union hashes of such specs stay valid.
+	if src.Kind == SourceBenchmark && len(src.Benchmarks) == 0 {
+		src = nil
+	}
+	s.Source = src
+	s.Benchmarks = nil
+	s.Scenario = nil
+	return nil
 }
 
-// String renders the spec compactly for log lines.
+// Options converts the spec to the experiment subsystem's option struct.
+// The spec's source — normalized first, so legacy flat specs behave
+// identically — maps onto the experiment layer's generic name filter: trace
+// ref names travel as benchmark names, which is what the trace experiment
+// resolves them as.
+func (s JobSpec) Options() experiments.Options {
+	// Normalize a copy: an invalid source yields zero-source options here and
+	// a loud validation error at submission, where it belongs.
+	c := s
+	_ = c.Normalize()
+	opts := experiments.Options{
+		Iterations: c.Iterations,
+		MaxInsts:   c.MaxInsts,
+		Configs:    c.Configs,
+		Windows:    c.Windows,
+	}
+	if src := c.Source; src != nil {
+		switch src.Kind {
+		case SourceBenchmark:
+			opts.Benchmarks = src.Benchmarks
+		case SourceScenario:
+			opts.Scenario = src.Scenario
+			opts.Benchmarks = src.Benchmarks
+		case SourceTrace:
+			opts.Benchmarks = src.Traces
+		}
+	}
+	return opts
+}
+
+// describeSource renders a spec's program source uniformly for logs:
+// kind[contents]. Trace refs already embed sixteen hash digits; scenarios
+// get name@hash16 so a log line pins content identity for every kind.
+func describeSource(src *Source) string {
+	if src == nil {
+		return SourceBenchmark + "[all]"
+	}
+	switch src.Kind {
+	case SourceScenario:
+		if src.Scenario != nil {
+			return fmt.Sprintf("%s[%s@%.16s]", src.Kind, src.Scenario.Name, src.Scenario.Hash())
+		}
+	case SourceTrace:
+		if len(src.Traces) > 0 {
+			return fmt.Sprintf("%s[%s]", src.Kind, strings.Join(src.Traces, ","))
+		}
+		return src.Kind + "[all]"
+	}
+	if len(src.Benchmarks) > 0 {
+		return fmt.Sprintf("%s[%s]", src.Kind, strings.Join(src.Benchmarks, ","))
+	}
+	return src.Kind + "[all]"
+}
+
+// String renders the spec compactly for log lines, describing the program
+// source uniformly across kinds and encodings (a legacy flat spec prints
+// exactly like its union equivalent).
 func (s JobSpec) String() string {
+	c := s
+	if err := c.Normalize(); err != nil {
+		// An invalid spec still needs a printable form for error logs.
+		return fmt.Sprintf("%s src=invalid(%v)", s.Experiment, err)
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s", s.Experiment)
-	if len(s.Benchmarks) > 0 {
-		fmt.Fprintf(&b, " benchmarks=%s", strings.Join(s.Benchmarks, ","))
+	fmt.Fprintf(&b, "%s src=%s", c.Experiment, describeSource(c.Source))
+	if c.Iterations > 0 {
+		fmt.Fprintf(&b, " iters=%d", c.Iterations)
 	}
-	if s.Iterations > 0 {
-		fmt.Fprintf(&b, " iters=%d", s.Iterations)
+	if len(c.Configs) > 0 {
+		fmt.Fprintf(&b, " configs=%s", strings.Join(c.Configs, ","))
 	}
-	if len(s.Configs) > 0 {
-		fmt.Fprintf(&b, " configs=%s", strings.Join(s.Configs, ","))
+	if len(c.Windows) > 0 {
+		fmt.Fprintf(&b, " windows=%v", c.Windows)
 	}
-	if len(s.Windows) > 0 {
-		fmt.Fprintf(&b, " windows=%v", s.Windows)
-	}
-	if s.Scenario != nil {
-		fmt.Fprintf(&b, " scenario=%s", s.Scenario.Name)
-	}
-	if s.Priority != 0 {
-		fmt.Fprintf(&b, " priority=%d", s.Priority)
+	if c.Priority != 0 {
+		fmt.Fprintf(&b, " priority=%d", c.Priority)
 	}
 	return b.String()
 }

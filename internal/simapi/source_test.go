@@ -1,0 +1,160 @@
+package simapi
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// normalize is a test helper: Normalize a copy, failing the test on error.
+func normalize(t *testing.T, s JobSpec) JobSpec {
+	t.Helper()
+	if err := s.Normalize(); err != nil {
+		t.Fatalf("Normalize(%+v): %v", s, err)
+	}
+	return s
+}
+
+// TestNormalizeEquivalence is the compatibility contract of the source
+// union: a legacy flat spec and its union equivalent normalize to the same
+// canonical value — byte-identical JSON, therefore identical dedup and
+// cache hashes everywhere a spec is hashed after normalization.
+func TestNormalizeEquivalence(t *testing.T) {
+	scn := &workload.Scenario{Name: "s", Pattern: workload.PatternAliasStorm, Iterations: 10}
+	cases := []struct {
+		name          string
+		legacy, union JobSpec
+	}{
+		{
+			"benchmark names",
+			JobSpec{Experiment: "sweep", Benchmarks: []string{"gzip", "applu"}, Iterations: 50},
+			JobSpec{Experiment: "sweep", Iterations: 50,
+				Source: &Source{Kind: SourceBenchmark, Benchmarks: []string{"gzip", "applu"}}},
+		},
+		{
+			"default benchmarks",
+			JobSpec{Experiment: "fig2"},
+			JobSpec{Experiment: "fig2", Source: &Source{Kind: SourceBenchmark}},
+		},
+		{
+			"inline scenario",
+			JobSpec{Experiment: "scenario", Scenario: scn},
+			JobSpec{Experiment: "scenario", Source: &Source{Kind: SourceScenario, Scenario: scn}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l, u := normalize(t, c.legacy), normalize(t, c.union)
+			lb, _ := json.Marshal(l)
+			ub, _ := json.Marshal(u)
+			if string(lb) != string(ub) {
+				t.Errorf("canonical encodings differ:\nlegacy %s\nunion  %s", lb, ub)
+			}
+			if l.Benchmarks != nil || l.Scenario != nil {
+				t.Errorf("normalized spec still carries legacy fields: %+v", l)
+			}
+			// Options must be independent of the submitted encoding too.
+			if !reflect.DeepEqual(c.legacy.Options(), c.union.Options()) {
+				t.Errorf("Options differ: %+v vs %+v", c.legacy.Options(), c.union.Options())
+			}
+		})
+	}
+}
+
+// TestNormalizeBareSpecKeepsLegacyBytes pins that a spec with no source at
+// all round-trips to the exact bytes it always encoded to, so pre-union
+// hashes of default-source specs stay valid across the upgrade.
+func TestNormalizeBareSpecKeepsLegacyBytes(t *testing.T) {
+	before, _ := json.Marshal(JobSpec{Experiment: "fig2", Iterations: 25})
+	after, _ := json.Marshal(normalize(t, JobSpec{Experiment: "fig2", Iterations: 25}))
+	if string(before) != string(after) {
+		t.Errorf("bare spec encoding changed: %s -> %s", before, after)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	scn := &workload.Scenario{Name: "s", Iterations: 10}
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"unknown kind", JobSpec{Experiment: "sweep", Source: &Source{Kind: "binary"}}, "unknown source kind"},
+		{"union plus legacy benchmarks",
+			JobSpec{Experiment: "sweep", Benchmarks: []string{"gzip"},
+				Source: &Source{Kind: SourceBenchmark, Benchmarks: []string{"gzip"}}},
+			"both source and legacy"},
+		{"union plus legacy scenario",
+			JobSpec{Experiment: "scenario", Scenario: scn,
+				Source: &Source{Kind: SourceScenario, Scenario: scn}},
+			"both source and legacy"},
+		{"scenario kind without spec",
+			JobSpec{Experiment: "scenario", Source: &Source{Kind: SourceScenario}},
+			"without a scenario spec"},
+		{"scenario kind with traces",
+			JobSpec{Experiment: "scenario", Source: &Source{Kind: SourceScenario, Scenario: scn, Traces: []string{"x"}}},
+			"must not carry traces"},
+		{"benchmark kind with scenario",
+			JobSpec{Experiment: "sweep", Source: &Source{Kind: SourceBenchmark, Scenario: scn}},
+			"must not carry scenario"},
+		{"trace kind with benchmarks",
+			JobSpec{Experiment: "trace", Source: &Source{Kind: SourceTrace, Benchmarks: []string{"gzip"}}},
+			"must not carry scenario or benchmarks"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Normalize()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Normalize = %v, want error mentioning %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestTraceSourceOptions pins the trace-source mapping onto the experiment
+// layer: ref names travel as the generic benchmark name filter.
+func TestTraceSourceOptions(t *testing.T) {
+	refs := []string{"gzip-0123456789abcdef", "applu-fedcba9876543210"}
+	opts := JobSpec{Experiment: "trace", Source: &Source{Kind: SourceTrace, Traces: refs}}.Options()
+	if !reflect.DeepEqual(opts.Benchmarks, refs) {
+		t.Errorf("Options().Benchmarks = %v, want trace refs %v", opts.Benchmarks, refs)
+	}
+}
+
+// TestJobSpecString pins the uniform source descriptor in log lines: every
+// kind prints as kind[contents], with content identity (hash16) for
+// scenarios and traces, identically for legacy and union encodings.
+func TestJobSpecString(t *testing.T) {
+	scn := &workload.Scenario{Name: "stress/x", Pattern: workload.PatternAliasStorm, Iterations: 10}
+	hash16 := scn.Hash()[:16]
+	cases := []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{Experiment: "fig2"}, "fig2 src=benchmark[all]"},
+		{JobSpec{Experiment: "sweep", Benchmarks: []string{"gzip", "applu"}, Iterations: 50},
+			"sweep src=benchmark[gzip,applu] iters=50"},
+		{JobSpec{Experiment: "scenario", Scenario: scn},
+			"scenario src=scenario[stress/x@" + hash16 + "]"},
+		{JobSpec{Experiment: "trace",
+			Source: &Source{Kind: SourceTrace, Traces: []string{"gzip-0123456789abcdef"}}},
+			"trace src=trace[gzip-0123456789abcdef]"},
+		{JobSpec{Experiment: "trace", Source: &Source{Kind: SourceTrace}},
+			"trace src=trace[all]"},
+		{JobSpec{Experiment: "sweep", Priority: 2, Configs: []string{"nosq-delay"}},
+			"sweep src=benchmark[all] configs=nosq-delay priority=2"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	legacy := JobSpec{Experiment: "scenario", Scenario: scn}
+	union := JobSpec{Experiment: "scenario", Source: &Source{Kind: SourceScenario, Scenario: scn}}
+	if legacy.String() != union.String() {
+		t.Errorf("legacy and union encodings print differently: %q vs %q", legacy, union)
+	}
+}

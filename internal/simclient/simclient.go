@@ -10,10 +10,13 @@
 //	info, err = c.Wait(ctx, info.ID)
 //	report, err := c.Report(ctx, info.ID, "json")
 //
-// Workload scenario specs (see internal/workload) travel inline in the job:
+// A job's program source is declared with the typed Source constructors —
+// named benchmarks, an inline workload scenario spec (see internal/workload),
+// or recorded traces (see internal/traceio):
 //
 //	scn, err := workload.LoadScenarioFile("my.json")
-//	info, err = c.Submit(ctx, simapi.JobSpec{Experiment: "scenario", Scenario: &scn})
+//	info, err = c.Submit(ctx, simapi.JobSpec{Experiment: "scenario", Source: simclient.ScenarioSource(scn)})
+//	info, err = c.Submit(ctx, simapi.JobSpec{Experiment: "trace", Source: simclient.TraceSource("gzip-0123456789abcdef")})
 package simclient
 
 import (
@@ -32,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/simapi"
 	"repro/internal/simwire"
+	"repro/internal/workload"
 )
 
 // Client talks to one simulation server.
@@ -270,18 +274,38 @@ func (c *Client) CompleteTaskTimed(ctx context.Context, taskID, workerID string,
 	return resp, err
 }
 
-// Health fetches /healthz.
+// Health fetches the health document (GET /api/v1/healthz).
 func (c *Client) Health(ctx context.Context) (simapi.Health, error) {
 	var h simapi.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	err := c.do(ctx, http.MethodGet, "/api/v1/healthz", nil, &h)
 	return h, err
 }
 
-// Metrics fetches /metricsz.
+// Metrics fetches the metrics document (GET /api/v1/metricsz).
 func (c *Client) Metrics(ctx context.Context) (simapi.Metrics, error) {
 	var m simapi.Metrics
-	err := c.do(ctx, http.MethodGet, "/metricsz", nil, &m)
+	err := c.do(ctx, http.MethodGet, "/api/v1/metricsz", nil, &m)
 	return m, err
+}
+
+// BenchmarkSource builds a benchmark program source: the named synthetic
+// workloads (none = the experiment's default set).
+func BenchmarkSource(names ...string) *simapi.Source {
+	return &simapi.Source{Kind: simapi.SourceBenchmark, Benchmarks: names}
+}
+
+// ScenarioSource builds an inline-scenario program source for the scenario
+// experiment.
+func ScenarioSource(s workload.Scenario) *simapi.Source {
+	return &simapi.Source{Kind: simapi.SourceScenario, Scenario: &s}
+}
+
+// TraceSource builds a recorded-trace program source for the trace
+// experiment: content-addressed ref names ("<name>-<hash16>", as printed by
+// nosq-trace -record and listed by nosq-trace -verify; none = every trace
+// in the server's trace directory).
+func TraceSource(refs ...string) *simapi.Source {
+	return &simapi.Source{Kind: simapi.SourceTrace, Traces: refs}
 }
 
 // ErrStopStreaming, returned by a StreamEvents callback, ends the stream

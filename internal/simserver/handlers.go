@@ -22,18 +22,42 @@ func (s *Server) Handler() http.Handler {
 		s.mux.ServeHTTP(w, r)
 		// The mux fills in r.Pattern during dispatch, so the label is the
 		// bounded route pattern ("GET /api/v1/jobs/{id}"), never the raw URL.
+		// Canonical /api/v1 health and metrics routes share their legacy
+		// alias's label: one logical endpoint, one histogram series, so
+		// dashboards keyed on the historical labels survive the move.
 		route := r.Pattern
-		if route == "" {
+		switch route {
+		case "":
 			route = "unmatched"
+		case "GET /api/v1/healthz":
+			route = "GET /healthz"
+		case "GET /api/v1/metricsz":
+			route = "GET /metricsz"
 		}
 		s.prom.httpSeconds.With(route).ObserveSince(start)
 	})
 }
 
+// deprecated wraps a legacy unprefixed route's handler: same behaviour as
+// its /api/v1 successor, plus RFC 8594-style headers telling clients where
+// the canonical route lives.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	// Health and metrics live under /api/v1 like every other route; the
+	// historical unprefixed paths stay as deprecated aliases so existing
+	// probes and scrapers keep working.
+	s.mux.HandleFunc("GET /api/v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/metricsz", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", deprecated("/api/v1/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metricsz", deprecated("/api/v1/metricsz", s.handleMetrics))
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)

@@ -338,6 +338,12 @@ func (s *Server) Submit(spec simapi.JobSpec, client string) (simapi.JobInfo, err
 	if client == "" {
 		client = DefaultClient
 	}
+	// Normalize first: validation, hashing, the WAL and every log line see
+	// one canonical spec, so a legacy flat submission and its source-union
+	// equivalent are the same job everywhere.
+	if err := spec.Normalize(); err != nil {
+		return simapi.JobInfo{}, err
+	}
 	if _, err := experiments.Lookup(spec.Experiment); err != nil {
 		return simapi.JobInfo{}, err
 	}
@@ -353,21 +359,30 @@ func (s *Server) Submit(spec simapi.JobSpec, client string) (simapi.JobInfo, err
 			return simapi.JobInfo{}, fmt.Errorf("simserver: invalid window size %d", w)
 		}
 	}
-	if spec.Scenario != nil {
-		// Reject bad inline scenarios at submission, not minutes later in a
-		// worker; the iteration cap applies to the scenario's own count too.
-		// A scenario on any other experiment would be silently ignored (yet
-		// still alter the dedup hash), so it is a submission error — the CLI
-		// rejects the same contradiction.
-		if spec.Experiment != "scenario" {
-			return simapi.JobInfo{}, fmt.Errorf("simserver: an inline scenario only applies to the scenario experiment, not %q", spec.Experiment)
-		}
-		if err := spec.Scenario.Validate(); err != nil {
-			return simapi.JobInfo{}, err
-		}
-		if s.cfg.MaxIterations > 0 && spec.Scenario.Iterations > s.cfg.MaxIterations {
-			return simapi.JobInfo{}, fmt.Errorf("simserver: scenario iterations %d exceeds the server cap %d",
-				spec.Scenario.Iterations, s.cfg.MaxIterations)
+	if src := spec.Source; src != nil {
+		switch src.Kind {
+		case simapi.SourceScenario:
+			// Reject bad inline scenarios at submission, not minutes later in
+			// a worker; the iteration cap applies to the scenario's own count
+			// too. A scenario on any other experiment would be silently
+			// ignored (yet still alter the dedup hash), so it is a submission
+			// error — the CLI rejects the same contradiction.
+			if spec.Experiment != "scenario" {
+				return simapi.JobInfo{}, fmt.Errorf("simserver: an inline scenario only applies to the scenario experiment, not %q", spec.Experiment)
+			}
+			if err := src.Scenario.Validate(); err != nil {
+				return simapi.JobInfo{}, err
+			}
+			if s.cfg.MaxIterations > 0 && src.Scenario.Iterations > s.cfg.MaxIterations {
+				return simapi.JobInfo{}, fmt.Errorf("simserver: scenario iterations %d exceeds the server cap %d",
+					src.Scenario.Iterations, s.cfg.MaxIterations)
+			}
+		case simapi.SourceTrace:
+			// Same contradiction rule for the trace source: only the trace
+			// experiment resolves trace ref names.
+			if spec.Experiment != "trace" {
+				return simapi.JobInfo{}, fmt.Errorf("simserver: a trace source only applies to the trace experiment, not %q", spec.Experiment)
+			}
 		}
 	}
 	hash, err := specHash(spec)

@@ -1,0 +1,77 @@
+package traceio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// fuzzSeedTrace builds a tiny deterministic trace by hand (no workload
+// generation, so the seed bytes stay stable across workload changes): a
+// store, a dependent load, a conditional branch loop, and a halt.
+func fuzzSeedTrace(f *testing.F) *emu.Trace {
+	f.Helper()
+	b := program.NewBuilder("fuzz-seed")
+	b.Label("top")
+	b.MovImm(isa.IntReg(1), 64)                 // r1 = 64
+	b.MovImm(isa.IntReg(2), 7)                  // r2 = 7
+	b.Store(isa.IntReg(2), isa.IntReg(1), 0, 8) // [r1] = r2
+	b.Load(isa.IntReg(3), isa.IntReg(1), 0, 8)  // r3 = [r1]
+	b.Branch(isa.BrEQZ, isa.IntReg(3), "top")   // not taken
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr, err := emu.RecordTrace(p, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tr
+}
+
+// FuzzDecode fuzzes the trace decoder. Decode sits between untrusted files
+// on disk and the sweep engine, so it must never panic or hang, and
+// anything it accepts must survive the round trip: a decoded trace
+// re-encodes to the exact bytes that were accepted (the format's
+// content-identity contract).
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, fuzzSeedTrace(f)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])                           // truncated checksum
+	f.Add(valid[:len(valid)/2])                           // truncated records
+	f.Add(valid[:9])                                      // truncated header
+	f.Add(append([]byte("XXQTRACE"), valid[8:]...))       // bad magic
+	f.Add(append([]byte(nil), "NSQTRACE\x07"...))         // bad version
+	f.Add(append(append([]byte(nil), valid...), 0, 1, 2)) // trailing bytes
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff // checksum mismatch
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add([]byte("\x00\xff garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, sum, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is always fine; panics and hangs are the bug
+		}
+		var out bytes.Buffer
+		resum, err := Encode(&out, tr)
+		if err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted %d bytes re-encode to %d different bytes", len(data), out.Len())
+		}
+		if resum.Hash != sum.Hash {
+			t.Fatalf("content hash changed across round trip: %s -> %s", sum.Hash, resum.Hash)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package traceio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Manifest is a committed trace's provenance sidecar, mirroring the
+// committed scenario corpus (internal/corpus): every trace file under
+// bench/traces/ is accompanied by a JSON manifest recording what the trace
+// is and where it came from. Every field is descriptive except TraceHash,
+// which is load-bearing: LoadDir rejects an entry whose trace file no
+// longer hashes to it, so a regenerated or hand-edited trace that drifted
+// from its recorded identity fails loudly instead of silently replaying a
+// different workload under the old name.
+type Manifest struct {
+	// Name is the traced program's human name (e.g. "gzip"); it must match
+	// the trace header's program name.
+	Name string `json:"name"`
+	// TraceHash is the full hex SHA-256 of the trace file — its content
+	// identity, also embedded in both filenames.
+	TraceHash string `json:"trace_hash"`
+	// FormatVersion and ISAName pin the container the trace was written in.
+	FormatVersion int    `json:"format_version"`
+	ISAName       string `json:"isa"`
+	// Insts, Loads, Stores and Statics summarize the stream, for humans and
+	// for the verify command's full-decode cross-check.
+	Insts   uint64 `json:"insts"`
+	Loads   uint64 `json:"loads"`
+	Stores  uint64 `json:"stores"`
+	Statics int    `json:"statics"`
+	// Generator describes the deterministic command that produced the trace
+	// (e.g. "workload:gzip iters=400"), so the corpus is reproducible.
+	Generator string `json:"generator,omitempty"`
+	// Tool identifies the producer, e.g. "nosq-trace".
+	Tool string `json:"tool,omitempty"`
+}
+
+// hashRefLen is how many hex digits of the trace hash entry names embed.
+// Sixteen digits (64 bits) — rather than the scenario corpus's twelve —
+// because the ref name is the *only* identity a job spec carries for a
+// trace, and it surfaces verbatim in job logs.
+const hashRefLen = 16
+
+// Validate checks the manifest's internal consistency (everything except
+// the trace file itself, which LoadDir and Verify check against TraceHash).
+func (m Manifest) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("traceio: manifest without a name")
+	}
+	if len(m.TraceHash) != 64 || strings.Trim(m.TraceHash, "0123456789abcdef") != "" {
+		return fmt.Errorf("traceio: manifest %s: trace_hash %q is not a hex sha256", m.Name, m.TraceHash)
+	}
+	if m.FormatVersion != Version {
+		return fmt.Errorf("traceio: manifest %s: format version %d (this build reads %d)", m.Name, m.FormatVersion, Version)
+	}
+	if m.ISAName != ISA {
+		return fmt.Errorf("traceio: manifest %s: isa %q (this build replays %q)", m.Name, m.ISAName, ISA)
+	}
+	if m.Insts == 0 {
+		return fmt.Errorf("traceio: manifest %s: zero instructions", m.Name)
+	}
+	return nil
+}
+
+// RefName is the entry's content-addressed reference name — the identity a
+// job spec, a report row, and a sweep pair key use: the slugged human name
+// plus a 16-hex-digit prefix of the trace hash. Changing one byte of the
+// trace changes its ref name.
+func (m Manifest) RefName() string {
+	slug := strings.ReplaceAll(m.Name, "/", "-")
+	return fmt.Sprintf("%s-%.*s", slug, hashRefLen, m.TraceHash)
+}
+
+// TraceFilename and ManifestFilename are the entry's canonical on-disk
+// names under a corpus directory.
+func (m Manifest) TraceFilename() string    { return m.RefName() + FileExt }
+func (m Manifest) ManifestFilename() string { return m.RefName() + ".json" }
+
+// Entry is one committed trace: its manifest plus the trace file's path.
+// The trace itself is decoded lazily (ReadFile) — loading a corpus verifies
+// identity by hash without replaying every stream.
+type Entry struct {
+	Manifest
+	// Path is the trace file's location on disk.
+	Path string
+}
+
+// NewManifest derives a manifest from an encoding summary.
+func NewManifest(sum Summary, generator, tool string) Manifest {
+	return Manifest{
+		Name: sum.Name, TraceHash: sum.Hash,
+		FormatVersion: Version, ISAName: ISA,
+		Insts: sum.Insts, Loads: sum.Loads, Stores: sum.Stores, Statics: sum.Statics,
+		Generator: generator, Tool: tool,
+	}
+}
+
+// WriteEntry commits a manifest beside its already-written trace file: the
+// trace at dir/TraceFilename must exist and hash to TraceHash. It returns
+// the manifest path.
+func WriteEntry(dir string, m Manifest) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	tracePath := filepath.Join(dir, m.TraceFilename())
+	got, err := FileHash(tracePath)
+	if err != nil {
+		return "", err
+	}
+	if got != m.TraceHash {
+		return "", fmt.Errorf("traceio: %s hashes to %.16s…, manifest says %.16s…", tracePath, got, m.TraceHash)
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("traceio: marshaling manifest %s: %w", m.Name, err)
+	}
+	path := filepath.Join(dir, m.ManifestFilename())
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("traceio: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// LoadEntry reads one committed entry by its trace-file path: the sidecar
+// manifest must exist, be internally consistent, and pin the trace file's
+// actual content hash and filename.
+func LoadEntry(tracePath string) (Entry, error) {
+	base := strings.TrimSuffix(tracePath, FileExt)
+	if base == tracePath {
+		return Entry{}, fmt.Errorf("traceio: %s does not end in %s", tracePath, FileExt)
+	}
+	data, err := os.ReadFile(base + ".json")
+	if err != nil {
+		return Entry{}, fmt.Errorf("traceio: reading manifest for %s: %w", tracePath, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Entry{}, fmt.Errorf("traceio: decoding %s.json: %w", base, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Entry{}, fmt.Errorf("%s.json: %w", base, err)
+	}
+	if got := filepath.Base(tracePath); got != m.TraceFilename() {
+		return Entry{}, fmt.Errorf("traceio: %s: manifest names the file %s (renamed after recording?)", tracePath, m.TraceFilename())
+	}
+	got, err := FileHash(tracePath)
+	if err != nil {
+		return Entry{}, err
+	}
+	if got != m.TraceHash {
+		return Entry{}, fmt.Errorf("traceio: %s hashes to %.16s…, manifest says %.16s… (trace edited after recording?)",
+			tracePath, got, m.TraceHash)
+	}
+	return Entry{Manifest: m, Path: tracePath}, nil
+}
+
+// LoadDir loads every committed trace under dir, sorted by filename so the
+// corpus order — and therefore the trace experiment's scope hash and report
+// row order — is deterministic. A directory with no traces is an error: a
+// replay that silently measured nothing would read as a passing gate.
+func LoadDir(dir string) ([]Entry, error) {
+	glob, err := filepath.Glob(filepath.Join(dir, "*"+FileExt))
+	if err != nil {
+		return nil, fmt.Errorf("traceio: listing %s: %w", dir, err)
+	}
+	sort.Strings(glob)
+	if len(glob) == 0 {
+		return nil, fmt.Errorf("traceio: no *%s traces under %s", FileExt, dir)
+	}
+	entries := make([]Entry, 0, len(glob))
+	refs := make(map[string]bool, len(glob))
+	for _, path := range glob {
+		e, err := LoadEntry(path)
+		if err != nil {
+			return nil, err
+		}
+		if refs[e.RefName()] {
+			return nil, fmt.Errorf("traceio: duplicate trace %s under %s", e.RefName(), dir)
+		}
+		refs[e.RefName()] = true
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Verify fully decodes the entry's trace file and cross-checks everything
+// the manifest claims: content hash, program name, and stream counts.
+func (e Entry) Verify() error {
+	t, sum, err := ReadFile(e.Path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case sum.Hash != e.TraceHash:
+		return fmt.Errorf("traceio: %s: decoded hash %.16s… differs from manifest %.16s…", e.Path, sum.Hash, e.TraceHash)
+	case t.Name() != e.Name:
+		return fmt.Errorf("traceio: %s: trace is of program %q, manifest says %q", e.Path, t.Name(), e.Name)
+	case sum.Insts != e.Insts || sum.Loads != e.Loads || sum.Stores != e.Stores || sum.Statics != e.Statics:
+		return fmt.Errorf("traceio: %s: stream counts (insts=%d loads=%d stores=%d statics=%d) differ from manifest (insts=%d loads=%d stores=%d statics=%d)",
+			e.Path, sum.Insts, sum.Loads, sum.Stores, sum.Statics, e.Insts, e.Loads, e.Stores, e.Statics)
+	}
+	return nil
+}
